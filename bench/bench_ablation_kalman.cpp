@@ -1,0 +1,92 @@
+// Ablation for the Commander's Kalman-filter feedback (Sec IV-D): with the
+// filter on, the attacker's P_MB control signal is smoothed, so the adapted
+// burst volumes stay near the stealth target even though each individual
+// external estimate is noisy.
+//
+// Expected shape: with the filter, fewer stealth-cap violations and lower
+// dispersion of the created millibottleneck lengths, at equal damage.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "rig.h"
+
+using namespace grunt;
+using namespace grunt::bench;
+
+namespace {
+
+struct KfOutcome {
+  double mean_pmb = 0;
+  double stddev_pmb = 0;
+  double violation_pct = 0;  ///< bursts with raw P_MB > 500 ms
+  double att_rt = 0;
+  std::size_t bursts = 0;
+};
+
+KfOutcome Run(bool use_kalman, std::uint64_t seed) {
+  const CloudSetting setting{"EC2-7K", 7000, 1.0, 1};
+  attack::GruntConfig cfg;
+  cfg.commander.use_kalman = use_kalman;
+  SocialNetworkRig rig(setting, seed);
+  rig.RunUntil(Sec(40));
+  const auto profile =
+      TruthProfile(rig.app(), SocialNetworkRates(rig.app(), setting.users));
+  attack::GruntAttack grunt(rig.client(), cfg);
+  bool done = false;
+  SimTime attack_start = 0;
+  grunt.OnAttackPhaseStart([&](SimTime at) { attack_start = at; });
+  grunt.RunWithProfile(profile, Sec(60),
+                       [&](const attack::GruntReport&) { done = true; });
+  rig.RunUntilFlag(done, Sec(2400));
+
+  KfOutcome out;
+  RunningStats pmb;
+  std::size_t violations = 0, total = 0;
+  for (const auto& g : grunt.report().groups) {
+    for (const auto& b : g.bursts) {
+      if (b.pmb_ms <= 0) continue;
+      pmb.Add(b.pmb_ms);
+      ++total;
+      violations += (b.pmb_ms > 500.0);
+    }
+  }
+  out.mean_pmb = pmb.mean();
+  out.stddev_pmb = pmb.stddev();
+  out.violation_pct =
+      total ? 100.0 * static_cast<double>(violations) / total : 0;
+  out.bursts = total;
+  out.att_rt = rig.rt_monitor()
+                   .LegitWindow(attack_start + Sec(5), attack_start + Sec(60))
+                   .mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Ablation: Kalman-filtered feedback control (Sec IV-D)",
+         "the filter keeps created millibottlenecks near the stealth target "
+         "with fewer cap violations");
+
+  Table table({"Controller", "Bursts", "Mean P_MB (ms)", "Stddev P_MB",
+               "Cap violations (%)", "AvgRT att (ms)"});
+  for (int seed = 0; seed < 2; ++seed) {
+    for (bool kf : {true, false}) {
+      std::printf("running %s (seed %d)...\n",
+                  kf ? "kalman" : "raw-feedback", seed);
+      const KfOutcome o = Run(kf, 200 + static_cast<std::uint64_t>(seed));
+      table.AddRow({std::string(kf ? "Kalman" : "Raw") + " (seed " +
+                        std::to_string(seed) + ")",
+                    Table::Int(static_cast<std::int64_t>(o.bursts)),
+                    Table::Num(o.mean_pmb, 0), Table::Num(o.stddev_pmb, 0),
+                    Table::Num(o.violation_pct, 1), Table::Num(o.att_rt, 0)});
+    }
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf("\npaper (Sec IV-D): the Kalman filter mitigates observation/"
+              "prediction inaccuracy in the attack parameter adaptation\n");
+  return 0;
+}

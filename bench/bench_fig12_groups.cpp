@@ -1,0 +1,112 @@
+// Reproduces Fig 12: the administrator's view of the SocialNetwork service
+// graph (12a), and the attacker's view — dependency groups reconstructed by
+// the blackbox profiler (12c) — scored against the white-box ground truth.
+//
+// Expected shape: three multi-path dependency groups (compose, home, user)
+// plus independent singleton paths, recovered from the outside with high
+// precision/recall at moderate load.
+
+#include <cstdio>
+
+#include "rig.h"
+#include "trace/dependency.h"
+
+int main() {
+  using namespace grunt;
+  using namespace grunt::bench;
+
+  Banner("Fig 12: dependency groups — admin view vs attacker view",
+         "3 dependency groups recovered via pairwise interference profiling");
+
+  const CloudSetting setting{"EC2-7K", 7000, 1.0, 1};
+  SocialNetworkRig rig(setting, 11);
+  rig.RunUntil(Sec(15));
+  const auto& app = rig.app();
+
+  // --- Fig 12(a): administrator's view (service call graph) ---
+  std::printf("\nFig 12(a) — administrator's view: execution paths\n");
+  for (auto t : app.PublicDynamicTypes()) {
+    std::printf("  %-18s:", app.request_type(t).name.c_str());
+    for (auto s : app.PathServices(t)) {
+      std::printf(" -> %s", app.service(s).name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // --- ground truth (Jaeger+Collectl role) ---
+  trace::GroundTruth truth(app, SocialNetworkRates(app, setting.users));
+
+  // --- Fig 12(b)+(c): blackbox profiling ---
+  attack::BotFarm bots({});
+  attack::Profiler profiler(rig.client(), bots, {});
+  bool done = false;
+  attack::ProfileResult result;
+  profiler.Run([&](attack::ProfileResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  rig.RunUntilFlag(done, Sec(3600));
+  std::printf("\nprofiling finished at t=%.0fs using %zu bots\n",
+              ToSeconds(rig.sim().Now()), bots.bot_count());
+
+  std::printf("\nFig 12(b) — three representative pairwise profilings:\n");
+  int shown = 0;
+  for (const auto& ev : result.evidence) {
+    const auto want =
+        shown == 0 ? trace::DepType::kParallel
+                   : (shown == 1 ? trace::DepType::kSequentialAUp
+                                 : trace::DepType::kNone);
+    if (!trace::SameKind(ev.inferred, want) &&
+        !(want == trace::DepType::kNone && ev.inferred == want)) {
+      continue;
+    }
+    std::printf("  %s vs %s: volumes {", app.request_type(ev.a).name.c_str(),
+                app.request_type(ev.b).name.c_str());
+    for (std::size_t i = 0; i < ev.volumes.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", ev.volumes[i]);
+    }
+    std::printf("} a->b {");
+    for (std::size_t i = 0; i < ev.a_blocks_b.size(); ++i) {
+      std::printf("%s%c", i ? "," : "", ev.a_blocks_b[i] ? 'Y' : 'n');
+    }
+    std::printf("} b->a {");
+    for (std::size_t i = 0; i < ev.b_blocks_a.size(); ++i) {
+      std::printf("%s%c", i ? "," : "", ev.b_blocks_a[i] ? 'Y' : 'n');
+    }
+    std::printf("} => %s\n", trace::ToString(ev.inferred));
+    if (++shown == 3) break;
+  }
+
+  std::printf("\nFig 12(c) — attacker's view: dependency groups\n");
+  for (const auto& g : result.groups) {
+    std::printf("  {");
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", app.request_type(g[i]).name.c_str());
+    }
+    std::printf("}\n");
+  }
+
+  // --- score vs ground truth ---
+  int tp = 0, fp = 0, fn = 0, kind_match = 0;
+  for (const auto& ev : result.evidence) {
+    const bool t = trace::IsDependent(truth.Classify(ev.a, ev.b));
+    const bool i = trace::IsDependent(ev.inferred);
+    tp += (t && i);
+    fp += (!t && i);
+    fn += (t && !i);
+    kind_match += (t && i &&
+                   trace::SameKind(truth.Classify(ev.a, ev.b), ev.inferred));
+  }
+  const double precision = tp + fp ? 1.0 * tp / (tp + fp) : 1.0;
+  const double recall = tp + fn ? 1.0 * tp / (tp + fn) : 1.0;
+  std::printf("\nprofiler accuracy vs ground truth: precision %.2f, recall "
+              "%.2f, f-score %.2f; dependency-type agreement %d/%d\n",
+              precision, recall,
+              precision + recall > 0
+                  ? 2 * precision * recall / (precision + recall)
+                  : 0.0,
+              kind_match, tp);
+  std::printf("paper (Fig 12c): compose, read-home, read-user groups "
+              "separate; F-score >90%% at moderate load\n");
+  return 0;
+}

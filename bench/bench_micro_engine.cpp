@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the substrate:
+// event scheduling/firing, end-to-end simulated request throughput, the
+// Section III model equations, Kalman updates, and dependency-group
+// union-find. These bound how much simulated time a bench second buys.
+
+#include <benchmark/benchmark.h>
+
+#include "attack/kalman.h"
+#include "fixtures_path.h"
+#include "microsvc/cluster.h"
+#include "model/queuing_model.h"
+#include "sim/simulation.h"
+#include "trace/dependency.h"
+#include "util/rng.h"
+
+namespace grunt {
+namespace {
+
+void BM_EventScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.At(i, [&sink] { ++sink; });
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+void BM_SimulatedRequestThroughput(benchmark::State& state) {
+  const auto app = bench_fixtures::SingleChainApp();
+  for (auto _ : state) {
+    sim::Simulation sim;
+    microsvc::Cluster cluster(sim, app, 1);
+    for (int i = 0; i < 200; ++i) {
+      sim.At(i * Ms(1), [&cluster] {
+        cluster.Submit(0, microsvc::RequestClass::kLegit, false, 1);
+      });
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(cluster.completed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_SimulatedRequestThroughput);
+
+void BM_ModelEquations(benchmark::State& state) {
+  const model::Stage um{32, 1000, 1500, 200};
+  const model::Stage bn{40, 200, 300, 100};
+  const model::Stage stages[] = {um, bn};
+  const model::Burst burst{500, 0.5};
+  for (auto _ : state) {
+    double acc = model::QueueFromCrossTierBlocking(burst, stages);
+    acc += model::MillibottleneckLength(burst, bn);
+    acc += model::DamageLatency(acc, bn);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ModelEquations);
+
+void BM_KalmanUpdate(benchmark::State& state) {
+  attack::ScalarKalman kf(1.0, 25.0, 0.0, 100.0);
+  double x = 0;
+  for (auto _ : state) {
+    x = kf.Update(x + 1.0);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_KalmanUpdate);
+
+void BM_DependencyGroupsUnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RngStream rng(1, "bench.uf");
+  for (auto _ : state) {
+    trace::DependencyGroups groups(n);
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      groups.Union(static_cast<std::int32_t>(i),
+                   static_cast<std::int32_t>(
+                       rng.NextInt(0, static_cast<std::int64_t>(n) - 1)));
+    }
+    benchmark::DoNotOptimize(groups.Groups().size());
+  }
+}
+BENCHMARK(BM_DependencyGroupsUnionFind)->Arg(64)->Arg(1024);
+
+void BM_RngExponential(benchmark::State& state) {
+  RngStream rng(1, "bench.rng");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextExpDuration(Ms(7)));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+}  // namespace
+}  // namespace grunt
+
+BENCHMARK_MAIN();

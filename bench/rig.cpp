@@ -1,0 +1,179 @@
+#include "rig.h"
+
+#include <cstdio>
+
+namespace grunt::bench {
+
+std::vector<CloudSetting> PaperSettings() {
+  return {
+      {"EC2-7K", 7000, 1.00, 1},   {"EC2-12K", 12000, 1.00, 2},
+      {"Azure-4K", 4000, 0.95, 1}, {"Azure-9K", 9000, 0.95, 2},
+      {"CloudLab-5K", 5000, 1.05, 1}, {"CloudLab-11K", 11000, 1.05, 2},
+  };
+}
+
+SocialNetworkRig::SocialNetworkRig(const CloudSetting& setting,
+                                   std::uint64_t seed)
+    : setting_(setting),
+      app_(apps::MakeSocialNetwork(
+          {setting.replica_scale, setting.capacity_scale,
+           microsvc::ServiceTimeDist::kExponential})) {
+  cluster_ = std::make_unique<microsvc::Cluster>(sim_, app_, seed);
+
+  workload::ClosedLoopWorkload::Config wl;
+  wl.users = setting.users;
+  wl.navigator = apps::SocialNetworkNavigator(app_);
+  users_ = std::make_unique<workload::ClosedLoopWorkload>(*cluster_, wl, seed);
+  users_->Start();
+
+  cloudwatch_ = std::make_unique<cloud::ResourceMonitor>(
+      *cluster_, cloud::ResourceMonitor::Config{Sec(1), "cloudwatch"});
+  fine_ = std::make_unique<cloud::ResourceMonitor>(
+      *cluster_, cloud::ResourceMonitor::Config{Ms(100), "fine"});
+  rt_ = std::make_unique<cloud::ResponseTimeMonitor>(
+      *cluster_, cloud::ResponseTimeMonitor::Config{Sec(1), "rt"});
+  scaler_ = std::make_unique<cloud::AutoScaler>(*cluster_, *cloudwatch_,
+                                                cloud::AutoScaler::Config{});
+  ids_ = std::make_unique<cloud::Ids>(*cluster_, cloudwatch_.get(), rt_.get(),
+                                      cloud::Ids::Config{});
+  cloudwatch_->Start();
+  fine_->Start();
+  rt_->Start();
+  scaler_->Start();
+  ids_->Start();
+  client_ = std::make_unique<attack::SimTargetClient>(*cluster_);
+}
+
+void SocialNetworkRig::RunUntil(SimTime until) { sim_.RunUntil(until); }
+
+bool SocialNetworkRig::RunUntilFlag(const bool& flag, SimTime cap) {
+  while (!flag && sim_.Now() < cap) sim_.RunUntil(sim_.Now() + Sec(10));
+  return flag;
+}
+
+microsvc::ServiceId SocialNetworkRig::HottestBackend(SimTime from,
+                                                     SimTime to) const {
+  microsvc::ServiceId best = 1;
+  double best_util = -1;
+  // Skip the gateway (service 0 by construction is nginx).
+  for (std::size_t i = 1; i < cluster_->service_count(); ++i) {
+    const auto sid = static_cast<microsvc::ServiceId>(i);
+    const double util = cloudwatch_->cpu_util(sid).WindowMean(from, to);
+    if (util > best_util) {
+      best_util = util;
+      best = sid;
+    }
+  }
+  return best;
+}
+
+std::vector<double> SocialNetworkRates(const microsvc::Application& app,
+                                       std::int32_t users) {
+  const auto mix = apps::SocialNetworkMix(app);
+  std::vector<double> rates(app.request_type_count(), 0.0);
+  double total_w = 0;
+  for (double w : mix.weights) total_w += w;
+  const double total_rate = static_cast<double>(users) / 7.0;
+  for (std::size_t i = 0; i < mix.types.size(); ++i) {
+    rates[static_cast<std::size_t>(mix.types[i])] =
+        total_rate * mix.weights[i] / total_w;
+  }
+  return rates;
+}
+
+attack::ProfileResult TruthProfile(const microsvc::Application& app,
+                                   const std::vector<double>& type_rates) {
+  attack::ProfileResult profile;
+  profile.baseline_rt_ms.assign(app.request_type_count(), 20.0);
+  for (auto t : app.PublicDynamicTypes()) {
+    profile.candidates.push_back(t);
+    attack::PublicUrl url;
+    url.url_id = t;
+    url.path = "/" + app.request_type(t).name;
+    profile.urls.push_back(url);
+  }
+  trace::GroundTruth truth(app, type_rates);
+  trace::DependencyGroups groups(app.request_type_count());
+  for (const auto& dep : truth.AllPairs()) {
+    if (trace::IsDependent(dep.type)) {
+      profile.pairs.push_back(dep);
+      groups.Union(dep.a, dep.b);
+    }
+  }
+  for (const auto& g : groups.Groups()) {
+    if (!app.request_type(g.front()).is_static || g.size() > 1) {
+      profile.groups.push_back(g);
+    }
+  }
+  return profile;
+}
+
+CampaignResult RunSocialNetworkCampaign(const CloudSetting& setting,
+                                        SimDuration attack_duration,
+                                        std::uint64_t seed,
+                                        attack::GruntConfig cfg,
+                                        const attack::ProfileResult* profile) {
+  SocialNetworkRig rig(setting, seed);
+  const SimTime kBaseFrom = Sec(20), kBaseTo = Sec(50);
+  rig.RunUntil(kBaseTo);
+
+  CampaignResult result;
+  result.base_rt_ms = rig.rt_monitor().LegitWindow(kBaseFrom, kBaseTo);
+  result.base_mbps =
+      rig.cloudwatch().gateway_mbps().WindowMean(kBaseFrom, kBaseTo);
+  const auto hottest = rig.HottestBackend(kBaseFrom, kBaseTo);
+  result.bottleneck_service = rig.app().service(hottest).name;
+  result.base_cpu_pct =
+      100.0 * rig.cloudwatch().cpu_util(hottest).WindowMean(kBaseFrom,
+                                                            kBaseTo);
+
+  attack::GruntAttack grunt(rig.client(), cfg);
+  bool done = false;
+  grunt.OnAttackPhaseStart(
+      [&](SimTime at) { result.attack_start = at; });
+  auto on_done = [&](const attack::GruntReport& report) {
+    result.report = report;
+    done = true;
+  };
+  if (profile != nullptr) {
+    grunt.RunWithProfile(*profile, attack_duration, on_done);
+  } else {
+    grunt.Run(attack_duration, on_done);
+  }
+  if (!rig.RunUntilFlag(done, Sec(7200))) {
+    std::fprintf(stderr, "campaign for %s did not finish\n",
+                 setting.name.c_str());
+    return result;
+  }
+  result.attack_end = result.attack_start + attack_duration;
+  const SimTime att_from = result.attack_start + Sec(5);
+  const SimTime att_to = result.attack_end;
+
+  result.att_rt_ms = rig.rt_monitor().LegitWindow(att_from, att_to);
+  result.att_mbps =
+      rig.cloudwatch().gateway_mbps().WindowMean(att_from, att_to);
+  result.att_cpu_pct =
+      100.0 * rig.cloudwatch().cpu_util(hottest).WindowMean(att_from, att_to);
+  result.bots = result.report.bots_used;
+  result.mean_pmb_ms = result.report.MeanPmbMs();
+  for (const auto& action : rig.autoscaler().actions()) {
+    if (action.at >= result.attack_start && action.at < att_to) {
+      ++result.scale_actions_during_attack;
+    }
+  }
+  result.attributed_alerts = rig.ids().attributed_attack_alerts();
+  return result;
+}
+
+void Banner(const std::string& experiment, const std::string& paper_claim) {
+  std::printf("==============================================================="
+              "=\n%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", paper_claim.c_str());
+  std::printf("note: absolute numbers come from the simulated substrate "
+              "(DESIGN.md);\nthe reproduced result is the SHAPE of the "
+              "comparison.\n");
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace grunt::bench

@@ -1,0 +1,117 @@
+#pragma once
+
+// Shared experiment rig for the bench binaries: deploys an application with
+// the full operator stack (workload, coarse/fine monitors, autoscaler, IDS),
+// measures a clean baseline window, runs an attack campaign, and measures
+// the attack window. Every table/figure bench builds on this.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/mubench.h"
+#include "apps/socialnetwork.h"
+#include "attack/grunt_attack.h"
+#include "attack/sim_target_client.h"
+#include "cloud/autoscaler.h"
+#include "cloud/ids.h"
+#include "cloud/monitor.h"
+#include "microsvc/cluster.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/workload.h"
+
+namespace grunt::bench {
+
+/// One deployment setting of Table I / Table III ("EC2-7K" = cloud platform
+/// + number of concurrent legitimate users).
+struct CloudSetting {
+  std::string name;
+  std::int32_t users = 7000;
+  double capacity_scale = 1.0;   ///< relative vCPU speed of the provider
+  std::int32_t replica_scale = 1;  ///< bigger deployments for bigger loads
+};
+
+/// The six settings evaluated in the paper (Sec V-B).
+std::vector<CloudSetting> PaperSettings();
+
+/// A fully wired SocialNetwork deployment under closed-loop users.
+class SocialNetworkRig {
+ public:
+  SocialNetworkRig(const CloudSetting& setting, std::uint64_t seed);
+
+  /// Runs the simulation up to `until` (absolute).
+  void RunUntil(SimTime until);
+  /// Drives the simulation until `flag` becomes true (bounded by `cap`).
+  bool RunUntilFlag(const bool& flag, SimTime cap);
+
+  sim::Simulation& sim() { return sim_; }
+  const microsvc::Application& app() const { return app_; }
+  microsvc::Cluster& cluster() { return *cluster_; }
+  cloud::ResourceMonitor& cloudwatch() { return *cloudwatch_; }
+  cloud::ResourceMonitor& fine_monitor() { return *fine_; }
+  cloud::ResponseTimeMonitor& rt_monitor() { return *rt_; }
+  cloud::AutoScaler& autoscaler() { return *scaler_; }
+  cloud::Ids& ids() { return *ids_; }
+  attack::SimTargetClient& client() { return *client_; }
+  workload::ClosedLoopWorkload& users() { return *users_; }
+
+  /// Service with the highest mean utilization in [from, to): the
+  /// "representative bottleneck microservice" of the paper's tables.
+  microsvc::ServiceId HottestBackend(SimTime from, SimTime to) const;
+
+ private:
+  CloudSetting setting_;
+  sim::Simulation sim_;
+  microsvc::Application app_;
+  std::unique_ptr<microsvc::Cluster> cluster_;
+  std::unique_ptr<workload::ClosedLoopWorkload> users_;
+  std::unique_ptr<cloud::ResourceMonitor> cloudwatch_;
+  std::unique_ptr<cloud::ResourceMonitor> fine_;
+  std::unique_ptr<cloud::ResponseTimeMonitor> rt_;
+  std::unique_ptr<cloud::AutoScaler> scaler_;
+  std::unique_ptr<cloud::Ids> ids_;
+  std::unique_ptr<attack::SimTargetClient> client_;
+};
+
+/// Windowed measurements around one attack campaign.
+struct CampaignResult {
+  Samples base_rt_ms;
+  Samples att_rt_ms;
+  double base_mbps = 0;
+  double att_mbps = 0;
+  double base_cpu_pct = 0;  ///< representative bottleneck service
+  double att_cpu_pct = 0;
+  std::string bottleneck_service;
+  std::size_t bots = 0;
+  double mean_pmb_ms = 0;
+  std::size_t scale_actions_during_attack = 0;
+  std::size_t attributed_alerts = 0;
+  SimTime attack_start = 0;
+  SimTime attack_end = 0;
+  attack::GruntReport report;
+};
+
+/// Full Grunt campaign (blackbox profiling included unless `profile` is
+/// non-null) against a SocialNetwork setting. `attack_duration` is the burst
+/// phase length; baseline is measured on [warmup, warmup+30s).
+CampaignResult RunSocialNetworkCampaign(
+    const CloudSetting& setting, SimDuration attack_duration,
+    std::uint64_t seed, attack::GruntConfig cfg = {},
+    const attack::ProfileResult* profile = nullptr);
+
+/// Ground-truth profile for any app under per-type rates (white-box; used
+/// by benches that study the attack itself rather than the profiler).
+attack::ProfileResult TruthProfile(const microsvc::Application& app,
+                                   const std::vector<double>& type_rates);
+
+/// Per-type legit rates implied by a closed-loop SocialNetwork population.
+std::vector<double> SocialNetworkRates(const microsvc::Application& app,
+                                       std::int32_t users);
+
+/// Prints the standard bench banner with the paper reference.
+void Banner(const std::string& experiment, const std::string& paper_claim);
+
+}  // namespace grunt::bench

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "microsvc/application.h"
+#include "workload/workload.h"
+
+namespace grunt::apps {
+
+/// Options for the µBench-style application factory [21]: seeded random
+/// microservice topologies of a target size, used for the paper's live
+/// attack scenarios with unknown architectures (Sec V-C; apps with 62, 118
+/// and 196 unique microservices).
+struct MuBenchOptions {
+  std::int32_t services = 62;  ///< unique microservices to generate
+  std::int32_t groups = 3;     ///< dependency groups to embed
+  /// Dependent paths per group (each bottlenecks on its own worker service
+  /// behind the group's shared upstream service).
+  std::int32_t paths_per_group = 3;
+  /// Additionally, one "upstream" path per group whose bottleneck is the
+  /// shared UM itself (sequential dependency source). Generated for the
+  /// first `upstream_paths` groups.
+  std::int32_t upstream_paths = 1;
+  std::int32_t singleton_paths = 2;  ///< independent paths (own group each)
+  std::uint64_t seed = 1;
+  microsvc::ServiceTimeDist dist = microsvc::ServiceTimeDist::kExponential;
+};
+
+/// Generates a deterministic random application with the requested shape.
+/// Services not reachable from any public path pad the topology to
+/// `services` (realistic: batch/ops services that public URLs never touch).
+microsvc::Application MakeMuBench(const MuBenchOptions& opts);
+
+/// Uniform navigation mix over the app's dynamic request types.
+workload::RequestMix MuBenchMix(const microsvc::Application& app);
+
+}  // namespace grunt::apps

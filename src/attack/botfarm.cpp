@@ -1,0 +1,26 @@
+#include "attack/botfarm.h"
+
+#include <limits>
+
+namespace grunt::attack {
+
+BotFarm::BotFarm(Config cfg) : cfg_(cfg) {}
+
+std::uint64_t BotFarm::Acquire(SimTime now) {
+  ++requests_sent_;
+  // Round-robin scan from the cursor so reuse spreads evenly across bots.
+  const std::size_t n = last_used_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t idx = (cursor_ + probe) % n;
+    if (now - last_used_[idx] >= cfg_.min_spacing) {
+      last_used_[idx] = now;
+      cursor_ = (idx + 1) % n;
+      return cfg_.bot_id_base + idx;
+    }
+  }
+  // Everyone is cooling down: recruit a new bot.
+  last_used_.push_back(now);
+  return cfg_.bot_id_base + (last_used_.size() - 1);
+}
+
+}  // namespace grunt::attack

@@ -1,0 +1,159 @@
+#include "attack/burst.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace grunt::attack {
+
+double BurstObservation::EstimatePmbMs() const {
+  if (responses.size() < 2) return 0.0;
+  SimTime first_end = responses.front().completed;
+  SimTime last_end = responses.front().completed;
+  for (const auto& r : responses) {
+    first_end = std::min(first_end, r.completed);
+    last_end = std::max(last_end, r.completed);
+  }
+  return ToMillis(last_end - first_end);
+}
+
+double BurstObservation::MeanRtMs() const {
+  if (responses.empty()) return 0.0;
+  double total = 0;
+  for (const auto& r : responses) {
+    total += ToMillis(r.completed - r.sent);
+  }
+  return total / static_cast<double>(responses.size());
+}
+
+double BurstObservation::MedianRtMs() const {
+  if (responses.empty()) return 0.0;
+  std::vector<double> rts;
+  rts.reserve(responses.size());
+  for (const auto& r : responses) rts.push_back(ToMillis(r.completed - r.sent));
+  auto mid = rts.begin() + static_cast<std::ptrdiff_t>(rts.size() / 2);
+  std::nth_element(rts.begin(), mid, rts.end());
+  return *mid;
+}
+
+double BurstObservation::MaxRtMs() const {
+  double best = 0;
+  for (const auto& r : responses) {
+    best = std::max(best, ToMillis(r.completed - r.sent));
+  }
+  return best;
+}
+
+SimTime BurstObservation::LastCompletion() const {
+  SimTime last = 0;
+  for (const auto& r : responses) last = std::max(last, r.completed);
+  return last;
+}
+
+namespace {
+
+/// Shared accumulator for one in-flight burst.
+struct Pending {
+  BurstObservation obs;
+  std::int32_t outstanding = 0;
+  BurstSender::DoneCallback done;
+};
+
+void SendSpaced(TargetClient& target, BotFarm& bots, std::int32_t url_id,
+                bool heavy, std::int32_t count, SimDuration spacing,
+                double rate, double length_s, bool attack_traffic,
+                BurstSender::DoneCallback done) {
+  if (count < 1) throw std::invalid_argument("burst count < 1");
+  auto pending = std::make_shared<Pending>();
+  pending->obs.url_id = url_id;
+  pending->obs.burst_start = target.Now();
+  pending->obs.rate = rate;
+  pending->obs.length_s = length_s;
+  pending->obs.responses.resize(static_cast<std::size_t>(count));
+  pending->outstanding = count;
+  pending->done = std::move(done);
+
+  for (std::int32_t i = 0; i < count; ++i) {
+    target.After(spacing * i, [&target, &bots, url_id, heavy, attack_traffic,
+                               pending, i] {
+      const SimTime now = target.Now();
+      const std::uint64_t bot = bots.Acquire(now);
+      target.Send(url_id, heavy, bot, attack_traffic,
+                  [pending, i](SimTime sent, SimTime completed) {
+                    auto& slot =
+                        pending->obs.responses[static_cast<std::size_t>(i)];
+                    slot.sent = sent;
+                    slot.completed = completed;
+                    if (--pending->outstanding == 0 && pending->done) {
+                      pending->done(std::move(pending->obs));
+                    }
+                  });
+    });
+  }
+}
+
+}  // namespace
+
+void BurstSender::Send(TargetClient& target, BotFarm& bots,
+                       std::int32_t url_id, bool heavy, double rate,
+                       std::int32_t count, bool attack_traffic,
+                       DoneCallback done) {
+  if (rate <= 0) throw std::invalid_argument("burst rate <= 0");
+  const auto spacing = static_cast<SimDuration>(1e6 / rate);
+  SendSpaced(target, bots, url_id, heavy, count, spacing, rate,
+             static_cast<double>(count) / rate, attack_traffic,
+             std::move(done));
+}
+
+void ProbeSender::Send(TargetClient& target, BotFarm& bots,
+                       std::int32_t url_id, std::int32_t count,
+                       SimDuration gap, BurstSender::DoneCallback done) {
+  if (gap <= 0) throw std::invalid_argument("probe gap <= 0");
+  SendSpaced(target, bots, url_id, /*heavy=*/false, count, gap,
+             /*rate=*/1e6 / static_cast<double>(gap),
+             /*length_s=*/ToSeconds(gap) * count, /*attack_traffic=*/false,
+             std::move(done));
+}
+
+void SettleUntilQuiet(TargetClient& target, BotFarm& bots,
+                      std::vector<std::int32_t> urls,
+                      std::vector<double> baselines_ms, SimDuration retry,
+                      std::int32_t tries, double factor,
+                      std::function<void()> done) {
+  if (urls.size() != baselines_ms.size()) {
+    throw std::invalid_argument("SettleUntilQuiet: size mismatch");
+  }
+  if (tries <= 0 || urls.empty()) {
+    target.After(retry, std::move(done));
+    return;
+  }
+  target.After(retry, [&target, &bots, urls = std::move(urls),
+                       baselines_ms = std::move(baselines_ms), retry, tries,
+                       factor, done = std::move(done)]() mutable {
+    auto outstanding =
+        std::make_shared<std::int32_t>(static_cast<std::int32_t>(urls.size()));
+    auto all_quiet = std::make_shared<bool>(true);
+    for (std::size_t i = 0; i < urls.size(); ++i) {
+      const double baseline = baselines_ms[i];
+      ProbeSender::Send(
+          target, bots, urls[i], /*count=*/1, Ms(10),
+          [&target, &bots, urls, baselines_ms, retry, tries, factor, done,
+           outstanding, all_quiet, baseline](BurstObservation obs) mutable {
+            if (obs.MedianRtMs() > factor * baseline + 20.0) {
+              *all_quiet = false;
+            }
+            if (--*outstanding == 0) {
+              if (*all_quiet) {
+                done();
+              } else {
+                SettleUntilQuiet(target, bots, std::move(urls),
+                                 std::move(baselines_ms), retry, tries - 1,
+                                 factor, std::move(done));
+              }
+            }
+          });
+    }
+  });
+}
+
+}  // namespace grunt::attack

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "attack/botfarm.h"
+#include "attack/target_client.h"
+
+namespace grunt::attack {
+
+/// Everything the attacker observes about one of its bursts: per-request
+/// send/complete timestamps. The Monitor module's two blackbox estimators
+/// (Sec IV-B) are derived views:
+///  * millibottleneck length P_MB ~= end time of the last attack request
+///    minus end time of the first one (Fig 8) — a conservative estimate;
+///  * damage latency t_min ~= average end-to-end response time of the
+///    burst's requests.
+struct BurstObservation {
+  std::int32_t url_id = -1;
+  SimTime burst_start = 0;
+  double rate = 0;      ///< B (requests/second)
+  double length_s = 0;  ///< L (seconds)
+
+  struct Response {
+    SimTime sent = 0;
+    SimTime completed = 0;
+  };
+  std::vector<Response> responses;  ///< in send order
+
+  double volume() const { return rate * length_s; }
+
+  /// Blackbox P_MB estimate in milliseconds (Fig 8); 0 with <2 responses.
+  double EstimatePmbMs() const;
+
+  /// Mean end-to-end RT of the burst's requests, in milliseconds.
+  double MeanRtMs() const;
+  /// Median RT (ms): robust against tail noise; the profiler's verdict
+  /// statistic.
+  double MedianRtMs() const;
+  double MaxRtMs() const;
+  SimTime LastCompletion() const;
+};
+
+/// Sends a fixed-rate burst of `count` requests for one URL, one request per
+/// bot, and invokes `done` once every response has returned.
+class BurstSender {
+ public:
+  using DoneCallback = std::function<void(BurstObservation)>;
+
+  /// `rate` in requests/second (> 0), `count` >= 1. Requests are evenly
+  /// spaced at 1/rate; the nominal burst length L = count/rate.
+  static void Send(TargetClient& target, BotFarm& bots, std::int32_t url_id,
+                   bool heavy, double rate, std::int32_t count,
+                   bool attack_traffic, DoneCallback done);
+};
+
+/// Sends `count` isolated probe requests spaced by `gap` (wide enough not to
+/// interfere with each other) and reports the observation; used to measure
+/// baseline response times.
+class ProbeSender {
+ public:
+  static void Send(TargetClient& target, BotFarm& bots, std::int32_t url_id,
+                   std::int32_t count, SimDuration gap,
+                   BurstSender::DoneCallback done);
+};
+
+/// Probes each URL in `urls` every `retry` until every response time is back
+/// near its baseline (<= factor*baseline + 20 ms) or `tries` runs out, then
+/// invokes `done`. Measurement phases use this between tests so residual
+/// queues from one test can never contaminate the next — an external
+/// attacker's only way to know the system "cooled down" (Sec II-B).
+void SettleUntilQuiet(TargetClient& target, BotFarm& bots,
+                      std::vector<std::int32_t> urls,
+                      std::vector<double> baselines_ms, SimDuration retry,
+                      std::int32_t tries, double factor,
+                      std::function<void()> done);
+
+}  // namespace grunt::attack

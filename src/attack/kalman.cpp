@@ -1,0 +1,26 @@
+#include "attack/kalman.h"
+
+#include <stdexcept>
+
+namespace grunt::attack {
+
+ScalarKalman::ScalarKalman(double process_var, double measurement_var,
+                           double initial, double initial_var)
+    : q_(process_var), r_(measurement_var), x_(initial), p_(initial_var) {
+  if (q_ < 0 || r_ <= 0 || p_ < 0) {
+    throw std::invalid_argument("ScalarKalman: variances must be positive");
+  }
+}
+
+double ScalarKalman::Update(double measurement) {
+  // Predict: constant-state model, uncertainty grows by Q.
+  p_ += q_;
+  // Update.
+  const double gain = p_ / (p_ + r_);
+  x_ += gain * (measurement - x_);
+  p_ *= (1.0 - gain);
+  last_gain_ = gain;
+  return x_;
+}
+
+}  // namespace grunt::attack

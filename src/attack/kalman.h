@@ -1,0 +1,33 @@
+#pragma once
+
+namespace grunt::attack {
+
+/// One-dimensional Kalman filter (constant-state model with process noise),
+/// the feedback-control tool of the Commander module (Sec IV-D, [30]). Used
+/// to smooth the attacker's noisy external estimates of millibottleneck
+/// length and damage latency before they drive parameter adaptation.
+class ScalarKalman {
+ public:
+  /// `process_var` (Q): how fast the true value drifts between bursts.
+  /// `measurement_var` (R): noise of one external estimate.
+  /// `initial` / `initial_var`: prior.
+  ScalarKalman(double process_var, double measurement_var, double initial,
+               double initial_var);
+
+  /// Incorporates one measurement; returns the posterior estimate.
+  double Update(double measurement);
+
+  double value() const { return x_; }
+  double variance() const { return p_; }
+  /// Kalman gain of the most recent update (diagnostics; 0 before any).
+  double last_gain() const { return last_gain_; }
+
+ private:
+  double q_;
+  double r_;
+  double x_;
+  double p_;
+  double last_gain_ = 0.0;
+};
+
+}  // namespace grunt::attack

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "attack/botfarm.h"
+#include "attack/burst.h"
+#include "attack/target_client.h"
+#include "trace/dependency.h"
+
+namespace grunt::attack {
+
+/// Tuning of the blackbox profiling procedure (Sec IV-C).
+struct ProfilerConfig {
+  /// Burst rate B used by profiling bursts (requests/second).
+  double burst_rate = 800.0;
+  /// Volume sweep, in requests per burst, low to high. The sweep for a pair
+  /// stops early once a burst's estimated P_MB exceeds `pmb_limit_ms`
+  /// (stealth requirement) or the pair is already classified.
+  std::vector<std::int32_t> volume_sweep = {12, 24, 48, 96};
+  double pmb_limit_ms = 500.0;
+
+  /// Interference verdict: the victim probes' MEDIAN RT must exceed
+  /// max(factor * baseline, baseline + floor_ms). Median over several
+  /// probes keeps tail noise from fabricating dependencies.
+  double interference_factor = 3.0;
+  double interference_floor_ms = 60.0;
+
+  std::int32_t baseline_probes = 10;  ///< per-URL baseline measurement
+  SimDuration baseline_gap = Ms(300);
+  std::int32_t victim_probes = 5;  ///< probes of the other path per test
+  /// Cool-down between tests: after each test the profiler probes the
+  /// involved URLs every `settle` until their RT is back near baseline (or
+  /// `settle_max_tries` is hit), so residual queues from one test can never
+  /// masquerade as interference in the next.
+  SimDuration settle = Ms(500);
+  std::int32_t settle_max_tries = 16;
+  double settle_factor = 1.8;  ///< quiet when RT <= factor*baseline + 20ms
+  /// Profiling bursts use the heaviest legal variant of each endpoint, like
+  /// the attack itself will.
+  bool heavy_bursts = true;
+  /// Re-test every positive interference verdict once and require both
+  /// tests to fire (squares the false-positive rate of tail noise; genuine
+  /// blocking effects are deterministic and re-fire).
+  bool confirm_positives = true;
+};
+
+/// Raw evidence gathered for one unordered pair of URLs.
+struct PairEvidence {
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::vector<std::int32_t> volumes;   ///< volumes actually tested
+  std::vector<bool> a_blocks_b;        ///< per volume
+  std::vector<bool> b_blocks_a;        ///< per volume
+  trace::DepType inferred = trace::DepType::kNone;
+};
+
+/// Everything the profiler learned, expressed over URL ids (== request type
+/// ids in the simulated target). `groups` is what the Commander attacks.
+struct ProfileResult {
+  std::vector<PublicUrl> urls;              ///< full crawl
+  std::vector<std::int32_t> candidates;     ///< dynamic URLs profiled
+  std::vector<double> baseline_rt_ms;       ///< indexed by url_id (0 if n/a)
+  std::vector<PairEvidence> evidence;
+  std::vector<trace::PairwiseDep> pairs;    ///< inferred dependencies
+  std::vector<std::vector<std::int32_t>> groups;  ///< dependency groups
+
+  /// Inferred dependency type for an unordered pair (kNone when unprofiled).
+  trace::DepType InferredType(std::int32_t a, std::int32_t b) const;
+};
+
+/// Blackbox Profiler module (Sec IV-C): crawls the URL catalog, measures
+/// per-URL baselines, tests pairwise performance interference across a
+/// volume sweep in both burst orders, classifies each pair as
+/// none/parallel/sequential/mutual, and unions dependent pairs into
+/// dependency groups. Runs entirely through the TargetClient interface.
+class Profiler {
+ public:
+  Profiler(TargetClient& target, BotFarm& bots, ProfilerConfig cfg);
+
+  /// Starts profiling; `done` fires (as a target-clock event) with the
+  /// finished result. One Run per Profiler instance.
+  void Run(std::function<void(ProfileResult)> done);
+
+ private:
+  struct Direction {
+    std::int32_t burst_url;
+    std::int32_t victim_url;
+  };
+
+  void MeasureBaseline(std::size_t candidate_idx);
+  /// Probes `urls` every cfg_.settle until all are back near baseline, then
+  /// calls `done`.
+  void SettleQuiet(std::vector<std::int32_t> urls, std::int32_t tries_left,
+                   std::function<void()> done);
+  void StartPair(std::size_t pair_idx);
+  void StartVolume(std::size_t pair_idx, std::size_t vol_idx);
+  void RunDirection(std::size_t pair_idx, std::size_t vol_idx, bool reversed,
+                    std::function<void(bool interfered, double pmb_ms)> done);
+  void RunDirectionOnce(
+      std::size_t pair_idx, std::size_t vol_idx, bool reversed,
+      std::function<void(bool interfered, double pmb_ms)> done);
+  void FinishPair(std::size_t pair_idx);
+  void Finish();
+  bool Interfered(double victim_mean_ms, double baseline_ms) const;
+  /// True once the evidence so far pins the pair's class down (sweep can
+  /// stop early).
+  bool PairDecided(const PairEvidence& ev) const;
+  static trace::DepType ClassifyEvidence(const PairEvidence& ev);
+
+  TargetClient& target_;
+  BotFarm& bots_;
+  ProfilerConfig cfg_;
+  ProfileResult result_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> pair_list_;
+  std::function<void(ProfileResult)> done_;
+  bool running_ = false;
+};
+
+}  // namespace grunt::attack

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace grunt::attack {
+
+/// What crawling the target's public URLs reveals about one endpoint
+/// (Sec IV-C "Extracting supported critical paths via public URLs").
+struct PublicUrl {
+  std::int32_t url_id = -1;
+  std::string path;  ///< e.g. "/api/compose-post"
+  /// Heuristic from crawling: static/cached assets are served at the edge
+  /// and excluded from profiling.
+  bool looks_static = false;
+};
+
+/// The only window the attack library has onto the target system: crawl the
+/// public URL catalog, send legitimate HTTP requests, observe start/end
+/// timestamps, and schedule its own future actions. No internal topology,
+/// utilization, or queue state is reachable through this interface —
+/// enforcing the paper's external-attacker threat model by construction.
+class TargetClient {
+ public:
+  virtual ~TargetClient() = default;
+
+  /// Outcome of one request as the sender observes it.
+  using ResponseCallback =
+      std::function<void(SimTime sent_at, SimTime completed_at)>;
+
+  /// Crawls the target's public URLs (paper: PhantomJS-driven crawling).
+  virtual std::vector<PublicUrl> CrawlUrls() = 0;
+
+  /// Sends one request for `url_id` now, attributed to `bot_id` (its source
+  /// IP / session). `heavy` picks the heaviest legal variant of the endpoint
+  /// (e.g. maximum-size media upload). `attack_traffic` is measurement-only
+  /// metadata used by the evaluation to attribute load; the target cannot
+  /// observe it.
+  virtual void Send(std::int32_t url_id, bool heavy, std::uint64_t bot_id,
+                    bool attack_traffic, ResponseCallback on_response) = 0;
+
+  /// Attacker's clock (wall clock from the attacker's vantage point).
+  virtual SimTime Now() const = 0;
+
+  /// Schedules attacker-side work (burst pacing, intervals).
+  virtual void After(SimDuration delay, std::function<void()> fn) = 0;
+};
+
+}  // namespace grunt::attack

@@ -1,0 +1,63 @@
+#include "baseline/tail_attack.h"
+
+#include <stdexcept>
+
+namespace grunt::baseline {
+
+TailAttack::TailAttack(attack::TargetClient& target, attack::BotFarm& bots,
+                       Config cfg)
+    : target_(target), bots_(bots), cfg_(cfg) {
+  if (cfg_.rate <= 0 || cfg_.count < 1) {
+    throw std::invalid_argument("TailAttack: bad burst shape");
+  }
+}
+
+void TailAttack::Run(SimTime until, std::function<void()> done) {
+  until_ = until;
+  done_ = std::move(done);
+  FireNext();
+}
+
+void TailAttack::FireNext() {
+  if (target_.Now() >= until_) {
+    if (done_) done_();
+    return;
+  }
+  attack_requests_ += static_cast<std::uint64_t>(cfg_.count);
+  attack::BurstSender::Send(
+      target_, bots_, cfg_.url, /*heavy=*/true, cfg_.rate, cfg_.count,
+      /*attack_traffic=*/true, [this](attack::BurstObservation obs) {
+        bursts_.push_back(std::move(obs));
+        target_.After(cfg_.interval, [this] { FireNext(); });
+      });
+}
+
+FloodAttack::FloodAttack(attack::TargetClient& target, attack::BotFarm& bots,
+                         Config cfg)
+    : target_(target), bots_(bots), cfg_(std::move(cfg)) {
+  if (cfg_.urls.empty() || cfg_.rate <= 0) {
+    throw std::invalid_argument("FloodAttack: bad config");
+  }
+}
+
+void FloodAttack::Run(SimTime until, std::function<void()> done) {
+  until_ = until;
+  done_ = std::move(done);
+  FireNext(0);
+}
+
+void FloodAttack::FireNext(std::size_t url_idx) {
+  if (target_.Now() >= until_) {
+    if (done_) done_();
+    return;
+  }
+  const SimTime now = target_.Now();
+  ++attack_requests_;
+  target_.Send(cfg_.urls[url_idx % cfg_.urls.size()], /*heavy=*/true,
+               bots_.Acquire(now), /*attack_traffic=*/true, nullptr);
+  const auto gap = static_cast<SimDuration>(1e6 / cfg_.rate);
+  target_.After(std::max<SimDuration>(1, gap),
+                [this, url_idx] { FireNext(url_idx + 1); });
+}
+
+}  // namespace grunt::baseline

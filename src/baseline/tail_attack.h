@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "attack/botfarm.h"
+#include "attack/burst.h"
+#include "attack/target_client.h"
+
+namespace grunt::baseline {
+
+/// Re-implementation of the Tail attack (Shan et al., CCS'17 [51]) as the
+/// paper's closest prior art: periodic ON/OFF bursts against a SINGLE
+/// execution path of a (monolithic-style) target. On microservice targets
+/// this only damages the few paths that depend on the attacked one — the
+/// comparison Grunt's related-work section makes (Sec VII).
+class TailAttack {
+ public:
+  struct Config {
+    std::int32_t url = 0;
+    double rate = 800.0;       ///< burst rate B (requests/second)
+    std::int32_t count = 100;  ///< requests per burst
+    SimDuration interval = Ms(500);  ///< OFF period between bursts
+  };
+
+  TailAttack(attack::TargetClient& target, attack::BotFarm& bots, Config cfg);
+
+  void Run(SimTime until, std::function<void()> done);
+
+  const std::vector<attack::BurstObservation>& bursts() const {
+    return bursts_;
+  }
+  std::uint64_t attack_requests() const { return attack_requests_; }
+
+ private:
+  void FireNext();
+
+  attack::TargetClient& target_;
+  attack::BotFarm& bots_;
+  Config cfg_;
+  SimTime until_ = 0;
+  std::function<void()> done_;
+  std::vector<attack::BurstObservation> bursts_;
+  std::uint64_t attack_requests_ = 0;
+};
+
+/// Brute-force volumetric flood: constant high-rate request stream over the
+/// given URLs. Trivially effective and trivially detectable — the reference
+/// point for Grunt's volume/stealth comparisons.
+class FloodAttack {
+ public:
+  struct Config {
+    std::vector<std::int32_t> urls;
+    double rate = 5000.0;  ///< total requests/second across all URLs
+  };
+
+  FloodAttack(attack::TargetClient& target, attack::BotFarm& bots, Config cfg);
+
+  void Run(SimTime until, std::function<void()> done);
+  std::uint64_t attack_requests() const { return attack_requests_; }
+
+ private:
+  void FireNext(std::size_t url_idx);
+
+  attack::TargetClient& target_;
+  attack::BotFarm& bots_;
+  Config cfg_;
+  SimTime until_ = 0;
+  std::function<void()> done_;
+  std::uint64_t attack_requests_ = 0;
+};
+
+}  // namespace grunt::baseline

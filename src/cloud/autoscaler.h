@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/monitor.h"
+#include "microsvc/cluster.h"
+
+namespace grunt::cloud {
+
+/// One scaling decision, for post-run analysis (Fig 14 / Fig 15b).
+struct ScaleAction {
+  SimTime at = 0;
+  microsvc::ServiceId service = microsvc::kInvalidService;
+  std::int32_t delta = 0;  ///< +1 scale-out, -1 scale-in
+  std::int32_t replicas_after = 0;
+};
+
+/// Threshold autoscaler mirroring the paper's policy (Sec V-B): scale up
+/// when a service's CPU utilization exceeds `up_threshold` for `window`
+/// straight, scale down below `down_threshold` for `window` straight.
+/// Decisions are taken from a coarse (1 s) ResourceMonitor — which is why
+/// sub-sampling-granularity millibottlenecks never trigger it.
+class AutoScaler {
+ public:
+  struct Config {
+    double up_threshold = 0.70;
+    double down_threshold = 0.30;
+    SimDuration window = Sec(30);
+    /// Time from the scale-out decision until the replica serves traffic.
+    SimDuration provision_delay = Sec(20);
+    /// Minimum spacing between consecutive actions on one service.
+    SimDuration cooldown = Sec(30);
+  };
+
+  /// `monitor` must sample CPU utilization; the autoscaler evaluates its
+  /// policy every monitor granularity tick.
+  AutoScaler(microsvc::Cluster& cluster, const ResourceMonitor& monitor,
+             Config cfg);
+
+  void Start();
+  void Stop();
+
+  const std::vector<ScaleAction>& actions() const { return actions_; }
+  std::size_t scale_up_count() const;
+  std::size_t scale_down_count() const;
+
+ private:
+  void Evaluate();
+
+  microsvc::Cluster& cluster_;
+  const ResourceMonitor& monitor_;
+  Config cfg_;
+  sim::EventHandle timer_;
+  bool running_ = false;
+  std::vector<SimTime> last_action_;
+  std::vector<ScaleAction> actions_;
+};
+
+}  // namespace grunt::cloud

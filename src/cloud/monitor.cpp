@@ -1,0 +1,113 @@
+#include "cloud/monitor.h"
+
+#include <algorithm>
+
+namespace grunt::cloud {
+
+ResourceMonitor::ResourceMonitor(microsvc::Cluster& cluster, Config cfg)
+    : cluster_(cluster), cfg_(std::move(cfg)) {
+  const std::size_t n = cluster_.service_count();
+  prev_busy_.assign(n, 0);
+  cpu_util_.resize(n);
+  queue_len_.resize(n);
+  replicas_.resize(n);
+}
+
+void ResourceMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  // Initialize baselines so the first window is measured, not cumulative.
+  for (std::size_t i = 0; i < cluster_.service_count(); ++i) {
+    prev_busy_[i] =
+        cluster_.service(static_cast<microsvc::ServiceId>(i)).CumBusyCoreTime();
+  }
+  prev_gateway_bytes_ = cluster_.gateway_bytes();
+  timer_ = cluster_.simulation().Every(cfg_.granularity, [this] { Sample(); });
+}
+
+void ResourceMonitor::Stop() {
+  running_ = false;
+  timer_.Cancel();
+}
+
+void ResourceMonitor::Sample() {
+  const SimTime now = cluster_.simulation().Now();
+  for (std::size_t i = 0; i < cluster_.service_count(); ++i) {
+    auto& svc = cluster_.service(static_cast<microsvc::ServiceId>(i));
+    const std::int64_t busy = svc.CumBusyCoreTime();
+    const double window_core_us =
+        static_cast<double>(svc.cores()) *
+        static_cast<double>(cfg_.granularity);
+    const double util =
+        window_core_us <= 0
+            ? 0.0
+            : std::clamp(static_cast<double>(busy - prev_busy_[i]) /
+                             window_core_us,
+                         0.0, 1.0);
+    prev_busy_[i] = busy;
+    cpu_util_[i].Add(now, util);
+    queue_len_[i].Add(now, static_cast<double>(svc.queue_length()));
+    replicas_[i].Add(now, static_cast<double>(svc.replicas()));
+  }
+  const std::int64_t bytes = cluster_.gateway_bytes();
+  const double mbps = static_cast<double>(bytes - prev_gateway_bytes_) /
+                      (1e6 * ToSeconds(cfg_.granularity));
+  prev_gateway_bytes_ = bytes;
+  gateway_mbps_.Add(now, mbps);
+}
+
+microsvc::ServiceId ResourceMonitor::HottestService(SimTime from,
+                                                    SimTime to) const {
+  microsvc::ServiceId best = 0;
+  double best_util = -1;
+  for (std::size_t i = 0; i < cpu_util_.size(); ++i) {
+    const double mean = cpu_util_[i].WindowMean(from, to);
+    if (mean > best_util) {
+      best_util = mean;
+      best = static_cast<microsvc::ServiceId>(i);
+    }
+  }
+  return best;
+}
+
+ResponseTimeMonitor::ResponseTimeMonitor(microsvc::Cluster& cluster,
+                                         Config cfg)
+    : cluster_(cluster), cfg_(std::move(cfg)) {
+  cluster_.AddCompletionListener([this](const microsvc::CompletionRecord& r) {
+    if (!running_) return;
+    if (r.cls != microsvc::RequestClass::kLegit) return;
+    const double rt_ms = ToMillis(r.end - r.start);
+    window_.Add(rt_ms);
+    legit_all_.emplace_back(r.end, rt_ms);
+  });
+}
+
+void ResponseTimeMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = cluster_.simulation().Every(cfg_.granularity, [this] { Flush(); });
+}
+
+void ResponseTimeMonitor::Stop() {
+  running_ = false;
+  timer_.Cancel();
+}
+
+void ResponseTimeMonitor::Flush() {
+  const SimTime now = cluster_.simulation().Now();
+  legit_mean_ms_.Add(now, window_.mean());
+  legit_p95_ms_.Add(now, window_.Percentile(95));
+  legit_throughput_.Add(now, static_cast<double>(window_.count()) /
+                                 ToSeconds(cfg_.granularity));
+  window_.Clear();
+}
+
+Samples ResponseTimeMonitor::LegitWindow(SimTime from, SimTime to) const {
+  Samples out;
+  for (const auto& [end, rt] : legit_all_) {
+    if (end >= from && end < to) out.Add(rt);
+  }
+  return out;
+}
+
+}  // namespace grunt::cloud

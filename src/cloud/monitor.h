@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "microsvc/cluster.h"
+#include "util/stats.h"
+#include "util/timeseries.h"
+
+namespace grunt::cloud {
+
+/// Periodically samples per-service CPU utilization and queue length plus
+/// gateway throughput — the role CloudWatch / Azure Monitor / docker-stats
+/// play in the paper. The sampling granularity is the whole story of the
+/// stealthiness argument: 1 s samplers cannot see <500 ms millibottlenecks,
+/// a 100 ms sampler can (Fig 13 vs Fig 14).
+class ResourceMonitor {
+ public:
+  struct Config {
+    SimDuration granularity = Sec(1);
+    std::string name = "cloudwatch";
+  };
+
+  ResourceMonitor(microsvc::Cluster& cluster, Config cfg);
+
+  void Start();
+  void Stop();
+
+  SimDuration granularity() const { return cfg_.granularity; }
+  const std::string& name() const { return cfg_.name; }
+
+  /// Utilization in [0,1] per sample window.
+  const TimeSeries& cpu_util(microsvc::ServiceId s) const {
+    return cpu_util_.at(static_cast<std::size_t>(s));
+  }
+  /// Instantaneous queue length (in-service + waiting) at sample times.
+  const TimeSeries& queue_len(microsvc::ServiceId s) const {
+    return queue_len_.at(static_cast<std::size_t>(s));
+  }
+  /// Gateway traffic in MB/s per sample window.
+  const TimeSeries& gateway_mbps() const { return gateway_mbps_; }
+  /// Replica count at sample times.
+  const TimeSeries& replicas(microsvc::ServiceId s) const {
+    return replicas_.at(static_cast<std::size_t>(s));
+  }
+
+  /// Service with the highest mean utilization over [from, to).
+  microsvc::ServiceId HottestService(SimTime from, SimTime to) const;
+
+ private:
+  void Sample();
+
+  microsvc::Cluster& cluster_;
+  Config cfg_;
+  sim::EventHandle timer_;
+  bool running_ = false;
+  std::vector<std::int64_t> prev_busy_;
+  std::int64_t prev_gateway_bytes_ = 0;
+  std::vector<TimeSeries> cpu_util_;
+  std::vector<TimeSeries> queue_len_;
+  std::vector<TimeSeries> replicas_;
+  TimeSeries gateway_mbps_;
+};
+
+/// Windows end-to-end response times of completed requests into a mean /
+/// p95 / count series per granularity tick. Separates legitimate traffic
+/// from attack/probe traffic so benches can report "RT perceived by normal
+/// users" exactly as the paper does.
+class ResponseTimeMonitor {
+ public:
+  struct Config {
+    SimDuration granularity = Sec(1);
+    std::string name = "rt";
+  };
+
+  ResponseTimeMonitor(microsvc::Cluster& cluster, Config cfg);
+
+  void Start();
+  void Stop();
+
+  /// Mean RT (ms) of legitimate requests completed per window (0 if none).
+  const TimeSeries& legit_mean_ms() const { return legit_mean_ms_; }
+  /// p95 RT (ms) of legitimate requests per window.
+  const TimeSeries& legit_p95_ms() const { return legit_p95_ms_; }
+  /// Legitimate completions per second per window.
+  const TimeSeries& legit_throughput() const { return legit_throughput_; }
+
+  /// All legitimate RTs (ms) observed in [from, to) by completion time.
+  Samples LegitWindow(SimTime from, SimTime to) const;
+
+ private:
+  void Flush();
+
+  microsvc::Cluster& cluster_;
+  Config cfg_;
+  sim::EventHandle timer_;
+  bool running_ = false;
+  Samples window_;  ///< legit RTs in the current window
+  std::vector<std::pair<SimTime, double>> legit_all_;  ///< (end, rt_ms)
+  TimeSeries legit_mean_ms_;
+  TimeSeries legit_p95_ms_;
+  TimeSeries legit_throughput_;
+};
+
+}  // namespace grunt::cloud

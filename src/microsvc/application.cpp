@@ -1,0 +1,159 @@
+#include "microsvc/application.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace grunt::microsvc {
+
+const char* ToString(RequestClass c) {
+  switch (c) {
+    case RequestClass::kLegit: return "legit";
+    case RequestClass::kAttack: return "attack";
+    case RequestClass::kProbe: return "probe";
+  }
+  return "?";
+}
+
+ServiceId Application::Builder::AddService(ServiceSpec spec) {
+  app_.services_.push_back(std::move(spec));
+  return static_cast<ServiceId>(app_.services_.size() - 1);
+}
+
+RequestTypeId Application::Builder::AddRequestType(RequestTypeSpec spec) {
+  app_.types_.push_back(std::move(spec));
+  return static_cast<RequestTypeId>(app_.types_.size() - 1);
+}
+
+Application::Builder& Application::Builder::SetName(std::string name) {
+  app_.name_ = std::move(name);
+  return *this;
+}
+
+Application::Builder& Application::Builder::SetNetLatency(SimDuration lat) {
+  if (lat < 0) throw std::invalid_argument("net latency < 0");
+  app_.net_latency_ = lat;
+  return *this;
+}
+
+Application::Builder& Application::Builder::SetServiceTimeDist(
+    ServiceTimeDist dist) {
+  app_.dist_ = dist;
+  return *this;
+}
+
+Application Application::Builder::Build() && {
+  std::unordered_set<std::string> svc_names;
+  for (const auto& s : app_.services_) {
+    if (s.name.empty()) throw std::invalid_argument("service with empty name");
+    if (!svc_names.insert(s.name).second) {
+      throw std::invalid_argument("duplicate service name: " + s.name);
+    }
+    if (s.threads_per_replica <= 0 || s.cores_per_replica <= 0 ||
+        s.initial_replicas <= 0 || s.max_replicas < s.initial_replicas) {
+      throw std::invalid_argument("invalid service sizing: " + s.name);
+    }
+  }
+  std::unordered_set<std::string> type_names;
+  for (const auto& t : app_.types_) {
+    if (t.name.empty()) throw std::invalid_argument("type with empty name");
+    if (!type_names.insert(t.name).second) {
+      throw std::invalid_argument("duplicate request type name: " + t.name);
+    }
+    if (!t.is_static && t.hops.empty()) {
+      throw std::invalid_argument("dynamic type with empty path: " + t.name);
+    }
+    std::unordered_set<ServiceId> seen;
+    for (const auto& h : t.hops) {
+      if (h.service < 0 ||
+          static_cast<std::size_t>(h.service) >= app_.services_.size()) {
+        throw std::invalid_argument("dangling service ref in type: " + t.name);
+      }
+      if (h.cpu_demand < 0 || h.post_demand < 0) {
+        throw std::invalid_argument("negative demand in type: " + t.name);
+      }
+      if (!seen.insert(h.service).second) {
+        throw std::invalid_argument("path visits a service twice: " + t.name);
+      }
+    }
+    if (t.heavy_multiplier < 1.0) {
+      throw std::invalid_argument("heavy_multiplier < 1 in type: " + t.name);
+    }
+  }
+  return std::move(app_);
+}
+
+const ServiceSpec& Application::service(ServiceId id) const {
+  return services_.at(static_cast<std::size_t>(id));
+}
+
+const RequestTypeSpec& Application::request_type(RequestTypeId id) const {
+  return types_.at(static_cast<std::size_t>(id));
+}
+
+std::optional<ServiceId> Application::FindService(std::string_view name) const {
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    if (services_[i].name == name) return static_cast<ServiceId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<RequestTypeId> Application::FindRequestType(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name) return static_cast<RequestTypeId>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<RequestTypeId> Application::PublicDynamicTypes() const {
+  std::vector<RequestTypeId> out;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (!types_[i].is_static) out.push_back(static_cast<RequestTypeId>(i));
+  }
+  return out;
+}
+
+std::vector<ServiceId> Application::PathServices(RequestTypeId t) const {
+  std::vector<ServiceId> out;
+  for (const auto& h : request_type(t).hops) out.push_back(h.service);
+  return out;
+}
+
+std::vector<ServiceId> Application::SharedServices(RequestTypeId a,
+                                                   RequestTypeId b) const {
+  std::vector<ServiceId> out;
+  const auto pb = PathServices(b);
+  for (ServiceId s : PathServices(a)) {
+    if (std::find(pb.begin(), pb.end(), s) != pb.end()) out.push_back(s);
+  }
+  return out;
+}
+
+std::optional<std::size_t> Application::HopIndexOf(RequestTypeId t,
+                                                   ServiceId s) const {
+  const auto& hops = request_type(t).hops;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (hops[i].service == s) return i;
+  }
+  return std::nullopt;
+}
+
+bool Application::IsUpstreamOn(RequestTypeId t, ServiceId up,
+                               ServiceId down) const {
+  const auto iu = HopIndexOf(t, up);
+  const auto id = HopIndexOf(t, down);
+  return iu && id && *iu < *id;
+}
+
+std::vector<RequestTypeId> Application::TypesThrough(ServiceId s) const {
+  std::vector<RequestTypeId> out;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (HopIndexOf(static_cast<RequestTypeId>(i), s)) {
+      out.push_back(static_cast<RequestTypeId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace grunt::microsvc

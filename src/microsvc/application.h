@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "microsvc/types.h"
+
+namespace grunt::microsvc {
+
+/// Static description of a microservice application: its services and the
+/// request types (execution paths) it supports. Immutable once built; the
+/// runtime `Cluster` instantiates it into a simulation.
+class Application {
+ public:
+  /// Incrementally builds an Application; `Build()` validates the topology.
+  /// Defined out-of-line below (it holds an Application by value).
+  class Builder;
+
+  const std::string& name() const { return name_; }
+  SimDuration net_latency() const { return net_latency_; }
+  ServiceTimeDist service_time_dist() const { return dist_; }
+
+  std::size_t service_count() const { return services_.size(); }
+  std::size_t request_type_count() const { return types_.size(); }
+  const ServiceSpec& service(ServiceId id) const;
+  const RequestTypeSpec& request_type(RequestTypeId id) const;
+  const std::vector<ServiceSpec>& services() const { return services_; }
+  const std::vector<RequestTypeSpec>& request_types() const { return types_; }
+
+  std::optional<ServiceId> FindService(std::string_view name) const;
+  std::optional<RequestTypeId> FindRequestType(std::string_view name) const;
+
+  /// Ids of non-static request types — the paths a blackbox profiler can
+  /// discover by crawling public URLs.
+  std::vector<RequestTypeId> PublicDynamicTypes() const;
+
+  /// The ordered services on a type's critical path.
+  std::vector<ServiceId> PathServices(RequestTypeId t) const;
+
+  /// Services present on both paths, in path-a order.
+  std::vector<ServiceId> SharedServices(RequestTypeId a, RequestTypeId b) const;
+
+  /// Position (hop index) of `s` on path `t`, or nullopt.
+  std::optional<std::size_t> HopIndexOf(RequestTypeId t, ServiceId s) const;
+
+  /// True if `up` appears strictly before `down` on path `t`.
+  bool IsUpstreamOn(RequestTypeId t, ServiceId up, ServiceId down) const;
+
+  /// All request types whose path visits service `s`.
+  std::vector<RequestTypeId> TypesThrough(ServiceId s) const;
+
+ private:
+  friend class Builder;
+  std::string name_ = "app";
+  SimDuration net_latency_ = 500;  // 0.5 ms per RPC message
+  ServiceTimeDist dist_ = ServiceTimeDist::kExponential;
+  std::vector<ServiceSpec> services_;
+  std::vector<RequestTypeSpec> types_;
+};
+
+class Application::Builder {
+ public:
+  /// Adds a service and returns its id.
+  ServiceId AddService(ServiceSpec spec);
+  /// Adds a request type and returns its id. Hops must reference existing
+  /// services; validation happens in Build().
+  RequestTypeId AddRequestType(RequestTypeSpec spec);
+  Builder& SetName(std::string name);
+  Builder& SetNetLatency(SimDuration lat);
+  Builder& SetServiceTimeDist(ServiceTimeDist dist);
+
+  /// Validates and returns the application. Throws std::invalid_argument on
+  /// dangling service references, empty paths, or duplicate names.
+  Application Build() &&;
+
+ private:
+  Application app_;
+};
+
+}  // namespace grunt::microsvc

@@ -1,0 +1,172 @@
+#include "microsvc/cluster.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace grunt::microsvc {
+
+/// Per-request mutable state shared by the lifecycle closures.
+struct Cluster::ActiveRequest {
+  std::uint64_t id = 0;
+  RequestTypeId type = kInvalidRequestType;
+  RequestClass cls = RequestClass::kLegit;
+  bool heavy = false;
+  std::uint64_t client_id = 0;
+  SimTime start = 0;
+  CompletionCallback on_complete;
+  /// Per-hop trace timestamps (filled as the request advances).
+  struct HopTrace {
+    SimTime arrived = 0;
+    SimTime slot_granted = 0;
+    SimTime finished = 0;
+  };
+  std::vector<HopTrace> traces;
+};
+
+Cluster::Cluster(sim::Simulation& sim, const Application& app,
+                 std::uint64_t seed)
+    : sim_(sim), app_(app), demand_rng_(seed, "cluster.demand." + app.name()) {
+  services_.reserve(app.service_count());
+  for (std::size_t i = 0; i < app.service_count(); ++i) {
+    services_.push_back(std::make_unique<Service>(
+        sim_, app.service(static_cast<ServiceId>(i)),
+        static_cast<ServiceId>(i)));
+  }
+}
+
+SimDuration Cluster::DrawDemand(SimDuration mean, double multiplier) {
+  const auto scaled = static_cast<SimDuration>(
+      static_cast<double>(mean) * multiplier);
+  if (scaled <= 0) return 0;
+  switch (app_.service_time_dist()) {
+    case ServiceTimeDist::kDeterministic:
+      return scaled;
+    case ServiceTimeDist::kExponential:
+      return std::max<SimDuration>(1, demand_rng_.NextExpDuration(scaled));
+  }
+  return scaled;
+}
+
+std::uint64_t Cluster::Submit(RequestTypeId type, RequestClass cls, bool heavy,
+                              std::uint64_t client_id,
+                              CompletionCallback on_complete) {
+  const auto& spec = app_.request_type(type);
+  auto req = std::make_shared<ActiveRequest>();
+  req->id = next_request_id_++;
+  req->type = type;
+  req->cls = cls;
+  req->heavy = heavy;
+  req->client_id = client_id;
+  req->start = sim_.Now();
+  req->on_complete = std::move(on_complete);
+  req->traces.resize(spec.hops.size());
+
+  gateway_bytes_ += spec.request_bytes;
+  for (const auto& listener : submit_listeners_) {
+    listener(type, cls, client_id, sim_.Now());
+  }
+
+  if (spec.is_static || spec.hops.empty()) {
+    // Served by the gateway/CDN without touching the backend: constant small
+    // latency, no backend load. (Sec VI "Limitations": static requests
+    // escape the attack entirely.)
+    const std::uint64_t rid = req->id;
+    sim_.After(app_.net_latency() * 2, [this, req, rid] {
+      (void)rid;
+      Complete(req);
+    });
+    return req->id;
+  }
+
+  const std::uint64_t rid = req->id;
+  sim_.After(app_.net_latency(), [this, req] { ArriveAt(req, 0); });
+  return rid;
+}
+
+void Cluster::ArriveAt(std::shared_ptr<ActiveRequest> req, std::size_t hop) {
+  req->traces[hop].arrived = sim_.Now();
+  Service& svc = service(app_.request_type(req->type).hops[hop].service);
+  svc.AcquireSlot([this, req, hop] { OnSlotGranted(req, hop); });
+}
+
+void Cluster::OnSlotGranted(std::shared_ptr<ActiveRequest> req,
+                            std::size_t hop) {
+  req->traces[hop].slot_granted = sim_.Now();
+  const auto& spec = app_.request_type(req->type);
+  const Hop& h = spec.hops[hop];
+  const double mult = req->heavy ? spec.heavy_multiplier : 1.0;
+  const bool last = (hop + 1 == spec.hops.size());
+  // The last hop has no downstream call: fold pre+post into one burst.
+  const SimDuration demand =
+      last ? DrawDemand(h.cpu_demand + h.post_demand, mult)
+           : DrawDemand(h.cpu_demand, mult);
+  service(h.service).RunCpu(demand,
+                            [this, req, hop] { AfterPreCpu(req, hop); });
+}
+
+void Cluster::AfterPreCpu(std::shared_ptr<ActiveRequest> req,
+                          std::size_t hop) {
+  const auto& spec = app_.request_type(req->type);
+  if (hop + 1 < spec.hops.size()) {
+    // Synchronous downstream call; this hop's slot stays held.
+    sim_.After(app_.net_latency(),
+               [this, req, hop] { ArriveAt(req, hop + 1); });
+  } else {
+    FinishHop(req, hop);
+  }
+}
+
+void Cluster::OnReplyArrived(std::shared_ptr<ActiveRequest> req,
+                             std::size_t hop) {
+  const auto& spec = app_.request_type(req->type);
+  const Hop& h = spec.hops[hop];
+  const double mult = req->heavy ? spec.heavy_multiplier : 1.0;
+  service(h.service).RunCpu(DrawDemand(h.post_demand, mult),
+                            [this, req, hop] { FinishHop(req, hop); });
+}
+
+void Cluster::FinishHop(std::shared_ptr<ActiveRequest> req, std::size_t hop) {
+  req->traces[hop].finished = sim_.Now();
+  const auto& spec = app_.request_type(req->type);
+  const Hop& h = spec.hops[hop];
+  service(h.service).ReleaseSlot();
+
+  if (span_sink_ != nullptr) {
+    SpanEvent span;
+    span.request_id = req->id;
+    span.type = req->type;
+    span.cls = req->cls;
+    span.service = h.service;
+    span.hop_index = static_cast<std::uint32_t>(hop);
+    span.arrived = req->traces[hop].arrived;
+    span.slot_granted = req->traces[hop].slot_granted;
+    span.finished = req->traces[hop].finished;
+    span_sink_->OnSpan(span);
+  }
+
+  if (hop == 0) {
+    sim_.After(app_.net_latency(), [this, req] { Complete(req); });
+  } else {
+    sim_.After(app_.net_latency(),
+               [this, req, hop] { OnReplyArrived(req, hop - 1); });
+  }
+}
+
+void Cluster::Complete(std::shared_ptr<ActiveRequest> req) {
+  const auto& spec = app_.request_type(req->type);
+  gateway_bytes_ += spec.response_bytes;
+  ++completed_count_;
+  CompletionRecord rec;
+  rec.request_id = req->id;
+  rec.type = req->type;
+  rec.cls = req->cls;
+  rec.heavy = req->heavy;
+  rec.client_id = req->client_id;
+  rec.start = req->start;
+  rec.end = sim_.Now();
+  completions_.push_back(rec);
+  for (const auto& listener : completion_listeners_) listener(rec);
+  if (req->on_complete) req->on_complete(rec);
+}
+
+}  // namespace grunt::microsvc

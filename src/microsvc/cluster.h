@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "microsvc/application.h"
+#include "microsvc/service.h"
+#include "microsvc/span_sink.h"
+#include "microsvc/types.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace grunt::microsvc {
+
+/// A finished end-to-end request as observed at the gateway.
+struct CompletionRecord {
+  std::uint64_t request_id = 0;
+  RequestTypeId type = kInvalidRequestType;
+  RequestClass cls = RequestClass::kLegit;
+  bool heavy = false;
+  std::uint64_t client_id = 0;
+  SimTime start = 0;  ///< submitted by the client
+  SimTime end = 0;    ///< response received by the client
+};
+
+/// Instantiates an Application into a running simulation and drives the
+/// request lifecycle across services.
+///
+/// Lifecycle of one request along its critical-path chain s0 → … → sn:
+///  1. hop i's call arrives at s_i (after per-message network latency) and
+///     waits for a thread slot;
+///  2. once granted, s_i runs the hop's pre-call CPU burst, then issues the
+///     synchronous call to s_{i+1} **while keeping its slot**;
+///  3. when the reply from s_{i+1} comes back, s_i runs the hop's post-reply
+///     CPU burst, releases its slot and replies to s_{i-1};
+///  4. hop 0's reply returns to the client and the CompletionRecord is
+///     logged.
+/// Both of the paper's blocking effects (execution blocking, cross-tier
+/// queue overflow) are emergent consequences of steps 2–3.
+class Cluster {
+ public:
+  using CompletionCallback = std::function<void(const CompletionRecord&)>;
+
+  Cluster(sim::Simulation& sim, const Application& app, std::uint64_t seed);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Submits a request of `type` now. `heavy` requests use the type's
+  /// heavy_multiplier on every CPU demand. Returns the request id.
+  std::uint64_t Submit(RequestTypeId type, RequestClass cls, bool heavy,
+                       std::uint64_t client_id,
+                       CompletionCallback on_complete = nullptr);
+
+  const Application& app() const { return app_; }
+  sim::Simulation& simulation() { return sim_; }
+
+  Service& service(ServiceId id) { return *services_.at(static_cast<std::size_t>(id)); }
+  const Service& service(ServiceId id) const {
+    return *services_.at(static_cast<std::size_t>(id));
+  }
+  std::size_t service_count() const { return services_.size(); }
+
+  /// Cumulative request+response bytes seen at the gateway.
+  std::int64_t gateway_bytes() const { return gateway_bytes_; }
+
+  /// Every completed request, in completion order.
+  const std::vector<CompletionRecord>& completions() const {
+    return completions_;
+  }
+  /// Frees the completion log (long-running benches call this periodically
+  /// after draining what they need).
+  void ClearCompletions() { completions_.clear(); }
+
+  std::uint64_t submitted_count() const { return next_request_id_; }
+  std::uint64_t completed_count() const { return completed_count_; }
+  std::uint64_t in_flight() const { return next_request_id_ - completed_count_; }
+
+  /// Optional tracing hook (admin-side ground truth; not visible to attacks).
+  void set_span_sink(SpanSink* sink) { span_sink_ = sink; }
+
+  /// Observer of every submitted request (gateway-side: used by the IDS).
+  using SubmitListener = std::function<void(
+      RequestTypeId type, RequestClass cls, std::uint64_t client_id,
+      SimTime at)>;
+  void AddSubmitListener(SubmitListener listener) {
+    submit_listeners_.push_back(std::move(listener));
+  }
+
+  /// Observer of every completion (used by monitors; fires before the
+  /// per-request callback).
+  void AddCompletionListener(CompletionCallback listener) {
+    completion_listeners_.push_back(std::move(listener));
+  }
+
+ private:
+  struct ActiveRequest;
+
+  void ArriveAt(std::shared_ptr<ActiveRequest> req, std::size_t hop);
+  void OnSlotGranted(std::shared_ptr<ActiveRequest> req, std::size_t hop);
+  void AfterPreCpu(std::shared_ptr<ActiveRequest> req, std::size_t hop);
+  void OnReplyArrived(std::shared_ptr<ActiveRequest> req, std::size_t hop);
+  void FinishHop(std::shared_ptr<ActiveRequest> req, std::size_t hop);
+  void Complete(std::shared_ptr<ActiveRequest> req);
+  SimDuration DrawDemand(SimDuration mean, double multiplier);
+
+  sim::Simulation& sim_;
+  const Application& app_;
+  RngStream demand_rng_;
+  std::vector<std::unique_ptr<Service>> services_;
+  std::vector<CompletionRecord> completions_;
+  std::int64_t gateway_bytes_ = 0;
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t completed_count_ = 0;
+  SpanSink* span_sink_ = nullptr;
+  std::vector<SubmitListener> submit_listeners_;
+  std::vector<CompletionCallback> completion_listeners_;
+};
+
+}  // namespace grunt::microsvc

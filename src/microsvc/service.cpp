@@ -1,0 +1,90 @@
+#include "microsvc/service.h"
+
+#include <utility>
+
+namespace grunt::microsvc {
+
+Service::Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id)
+    : sim_(sim), spec_(std::move(spec)), id_(id),
+      replicas_(spec_.initial_replicas) {}
+
+void Service::AcquireSlot(std::function<void()> on_granted) {
+  if (slots_in_use_ < threads()) {
+    ++slots_in_use_;
+    // Fire via an event to flatten recursion and keep ordering deterministic.
+    sim_.After(0, std::move(on_granted));
+  } else {
+    slot_waiters_.push_back(std::move(on_granted));
+  }
+}
+
+void Service::ReleaseSlot() {
+  --slots_in_use_;
+  if (!slot_waiters_.empty() && slots_in_use_ < threads()) {
+    auto next = std::move(slot_waiters_.front());
+    slot_waiters_.pop_front();
+    ++slots_in_use_;
+    sim_.After(0, std::move(next));
+  }
+}
+
+void Service::AccumulateBusy() {
+  const SimTime now = sim_.Now();
+  busy_integral_ += static_cast<std::int64_t>(cpu_busy_) *
+                    (now - busy_last_update_);
+  busy_last_update_ = now;
+}
+
+std::int64_t Service::CumBusyCoreTime() {
+  AccumulateBusy();
+  return busy_integral_;
+}
+
+void Service::RunCpu(SimDuration demand, std::function<void()> done) {
+  CpuBurst burst{demand, std::move(done)};
+  if (cpu_busy_ < cores()) {
+    StartBurst(std::move(burst));
+  } else {
+    cpu_queue_.push_back(std::move(burst));
+  }
+}
+
+void Service::StartBurst(CpuBurst burst) {
+  AccumulateBusy();
+  ++cpu_busy_;
+  sim_.After(burst.demand, [this, done = std::move(burst.done)]() mutable {
+    AccumulateBusy();
+    --cpu_busy_;
+    ++completed_bursts_;
+    done();
+    MaybeStartCpu();
+  });
+}
+
+void Service::MaybeStartCpu() {
+  while (!cpu_queue_.empty() && cpu_busy_ < cores()) {
+    CpuBurst next = std::move(cpu_queue_.front());
+    cpu_queue_.pop_front();
+    StartBurst(std::move(next));
+  }
+}
+
+void Service::AddReplica() {
+  ++replicas_;
+  // New capacity can admit queued work immediately.
+  MaybeStartCpu();
+  while (!slot_waiters_.empty() && slots_in_use_ < threads()) {
+    auto next = std::move(slot_waiters_.front());
+    slot_waiters_.pop_front();
+    ++slots_in_use_;
+    sim_.After(0, std::move(next));
+  }
+}
+
+bool Service::RemoveReplica() {
+  if (replicas_ <= 1) return false;
+  --replicas_;
+  return true;
+}
+
+}  // namespace grunt::microsvc

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "microsvc/types.h"
+#include "sim/simulation.h"
+
+namespace grunt::microsvc {
+
+/// Runtime state of one microservice (all replicas aggregated).
+///
+/// Two coupled resources:
+///  * **Thread slots** — bounded concurrency. A request holds a slot from
+///    admission until it replies upstream, *including* the whole time it is
+///    blocked on downstream calls (synchronous RPC). When all slots are in
+///    use, incoming calls wait in an arrival queue while their caller's
+///    thread stays blocked upstream — this is what propagates saturation
+///    upstream (cross-tier queue overflow, [58]).
+///  * **CPU cores** — FCFS multi-server for CPU bursts. Utilization here is
+///    what CloudWatch-style monitors and the autoscaler observe.
+class Service {
+ public:
+  Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id);
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  ServiceId id() const { return id_; }
+  const ServiceSpec& spec() const { return spec_; }
+
+  /// Asks for a thread slot; `on_granted` fires (as a simulation event) once
+  /// one is available. FIFO among waiters.
+  void AcquireSlot(std::function<void()> on_granted);
+
+  /// Releases a slot previously granted; wakes the next waiter if any.
+  void ReleaseSlot();
+
+  /// Runs a CPU burst of `demand`; `done` fires when the burst completes.
+  /// Bursts are served FCFS by `cores()` parallel cores. A demand of zero
+  /// completes immediately (still via an event, for deterministic ordering).
+  void RunCpu(SimDuration demand, std::function<void()> done);
+
+  // --- scaling (used by the autoscaler) ---
+  void AddReplica();
+  /// Removes one replica; capacity shrinks immediately but in-flight work is
+  /// never aborted. Returns false when already at one replica.
+  bool RemoveReplica();
+  std::int32_t replicas() const { return replicas_; }
+  std::int32_t threads() const { return replicas_ * spec_.threads_per_replica; }
+  std::int32_t cores() const { return replicas_ * spec_.cores_per_replica; }
+
+  // --- instantaneous metrics ---
+  std::int32_t slots_in_use() const { return slots_in_use_; }
+  std::int32_t slots_waiting() const {
+    return static_cast<std::int32_t>(slot_waiters_.size());
+  }
+  /// Total live demand pressure: in-service plus waiting for a slot.
+  std::int32_t queue_length() const { return slots_in_use() + slots_waiting(); }
+  std::int32_t cpu_busy() const { return cpu_busy_; }
+  std::int32_t cpu_queue_length() const {
+    return static_cast<std::int32_t>(cpu_queue_.size());
+  }
+
+  /// Cumulative busy core-microseconds up to Now(). Monitors diff this
+  /// between samples: utilization = delta / (cores * window).
+  std::int64_t CumBusyCoreTime();
+
+  std::int64_t completed_bursts() const { return completed_bursts_; }
+
+ private:
+  struct CpuBurst {
+    SimDuration demand;
+    std::function<void()> done;
+  };
+
+  void AccumulateBusy();
+  void MaybeStartCpu();
+  void StartBurst(CpuBurst burst);
+
+  sim::Simulation& sim_;
+  ServiceSpec spec_;
+  ServiceId id_;
+  std::int32_t replicas_;
+
+  std::int32_t slots_in_use_ = 0;
+  std::deque<std::function<void()>> slot_waiters_;
+
+  std::int32_t cpu_busy_ = 0;
+  std::deque<CpuBurst> cpu_queue_;
+  std::int64_t busy_integral_ = 0;  ///< core-microseconds
+  SimTime busy_last_update_ = 0;
+  std::int64_t completed_bursts_ = 0;
+};
+
+}  // namespace grunt::microsvc

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "microsvc/types.h"
+
+namespace grunt::microsvc {
+
+/// One completed hop of a request's execution, as a tracing system (Jaeger in
+/// the paper) would record it. Emitted when the hop replies upstream.
+struct SpanEvent {
+  std::uint64_t request_id = 0;
+  RequestTypeId type = kInvalidRequestType;
+  RequestClass cls = RequestClass::kLegit;
+  ServiceId service = kInvalidService;
+  std::uint32_t hop_index = 0;
+  SimTime arrived = 0;       ///< call reached the service (possibly queued)
+  SimTime slot_granted = 0;  ///< thread slot acquired
+  SimTime finished = 0;      ///< replied upstream, slot released
+};
+
+/// Receiver interface for span events. The trace substrate implements this;
+/// the attack library never sees it (blackbox boundary, DESIGN §4.3).
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void OnSpan(const SpanEvent& span) = 0;
+};
+
+}  // namespace grunt::microsvc

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace grunt::microsvc {
+
+using ServiceId = std::int32_t;
+using RequestTypeId = std::int32_t;
+
+inline constexpr ServiceId kInvalidService = -1;
+inline constexpr RequestTypeId kInvalidRequestType = -1;
+
+/// Who issued a request. The simulator treats all classes identically (attack
+/// requests ARE legitimate HTTP requests — that is the point of the paper);
+/// the class is only used for metrics attribution and IDS bookkeeping.
+enum class RequestClass : std::uint8_t {
+  kLegit = 0,   ///< background users
+  kAttack = 1,  ///< Grunt / baseline attack bursts
+  kProbe = 2,   ///< profiler / commander measurement probes
+};
+
+const char* ToString(RequestClass c);
+
+/// One hop of a request type's critical path (Fig 2(c)): the service visited,
+/// the CPU demand before calling the next hop, and the CPU demand after the
+/// downstream reply returns (before replying upstream).
+struct Hop {
+  ServiceId service = kInvalidService;
+  SimDuration cpu_demand = 0;   ///< mean pre-call CPU burst
+  SimDuration post_demand = 0;  ///< mean post-reply CPU burst
+};
+
+/// Static description of a supported user request (== execution path ==
+/// critical path). Each public URL of the target maps to one of these.
+struct RequestTypeSpec {
+  std::string name;
+  std::vector<Hop> hops;  ///< hop 0 is the entry (gateway-facing) service
+  /// Demand multiplier applied when a request is flagged "heavy" (attackers
+  /// pick the heaviest legal variant of an endpoint, e.g. max-size media).
+  double heavy_multiplier = 1.0;
+  std::int64_t request_bytes = 600;     ///< HTTP request size at the gateway
+  std::int64_t response_bytes = 4000;   ///< HTTP response size at the gateway
+  /// Static/cached endpoints are served by the gateway/CDN and never reach
+  /// the backend; the profiler excludes them (Sec IV-C).
+  bool is_static = false;
+};
+
+/// Static description of one microservice.
+struct ServiceSpec {
+  std::string name;
+  /// Thread-pool size per replica == queue slots per replica (Sec VI: "the
+  /// queue size of each microservice represents the number of server
+  /// threads").
+  std::int32_t threads_per_replica = 32;
+  std::int32_t cores_per_replica = 1;  ///< 1 vCPU basic unit (Sec V-B)
+  std::int32_t initial_replicas = 1;
+  std::int32_t max_replicas = 8;
+};
+
+/// How per-request CPU demands are drawn around their mean.
+enum class ServiceTimeDist : std::uint8_t {
+  kDeterministic,  ///< exactly the mean (used for model-validation tests)
+  kExponential,    ///< exponential with the given mean (default)
+};
+
+}  // namespace grunt::microsvc

@@ -1,0 +1,127 @@
+#include "model/queuing_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace grunt::model {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double QueueFromExecutionBlocking(const Burst& burst, const Stage& s) {
+  const double buildup = s.legit_rate + burst.rate - s.cap_attack;
+  return buildup <= 0 ? 0.0 : burst.length_s * buildup;
+}
+
+double FillTime(const Burst& burst, const Stage& s) {
+  const double fill_rate = s.legit_rate + burst.rate - s.cap_attack;
+  if (fill_rate <= 0) return kInf;
+  return s.queue_size / fill_rate;
+}
+
+double QueueFromCrossTierBlocking(const Burst& burst,
+                                  std::span<const Stage> stages) {
+  if (stages.empty()) {
+    throw std::invalid_argument("QueueFromCrossTierBlocking: no stages");
+  }
+  const Stage& bottleneck = stages.back();
+  // Time to fill the queues of every downstream stage (s+1..n).
+  double fill_total = 0;
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    const double l_i = FillTime(burst, stages[i]);
+    if (!std::isfinite(l_i)) return 0.0;  // never overflows downstream
+    fill_total += l_i;
+  }
+  const double effective_length = burst.length_s - fill_total;
+  if (effective_length <= 0) return 0.0;
+  double lambda_sum = 0;
+  for (const Stage& s : stages) lambda_sum += s.legit_rate;
+  const double buildup = lambda_sum + burst.rate - bottleneck.cap_attack;
+  return buildup <= 0 ? 0.0 : effective_length * buildup;
+}
+
+double DamageLatency(double queue, const Stage& bottleneck) {
+  if (bottleneck.cap_attack <= 0) {
+    throw std::invalid_argument("DamageLatency: non-positive capacity");
+  }
+  return std::max(0.0, queue) / bottleneck.cap_attack;
+}
+
+double MillibottleneckLength(const Burst& burst, const Stage& bottleneck) {
+  if (bottleneck.cap_attack <= 0 || bottleneck.cap_legit <= 0) {
+    throw std::invalid_argument("MillibottleneckLength: non-positive capacity");
+  }
+  const double legit_util = bottleneck.legit_rate / bottleneck.cap_legit;
+  if (legit_util >= 1.0) return kInf;
+  return burst.volume() / bottleneck.cap_attack / (1.0 - legit_util);
+}
+
+double TotalDamage(std::span<const double> per_path_damage) {
+  double total = 0;
+  for (double d : per_path_damage) total += std::max(0.0, d);
+  return total;
+}
+
+double RemainingDamage(double total_damage, double interval_s) {
+  return total_damage - interval_s;
+}
+
+std::vector<double> RequiredIntervals(
+    std::span<const double> per_path_damage) {
+  return {per_path_damage.begin(), per_path_damage.end()};
+}
+
+double BurstLengthForMillibottleneck(double target_pmb_s, double rate_b,
+                                     const Stage& bottleneck) {
+  if (rate_b <= 0) {
+    throw std::invalid_argument("BurstLengthForMillibottleneck: rate <= 0");
+  }
+  const double volume = VolumeForMillibottleneck(target_pmb_s, bottleneck);
+  return volume / rate_b;
+}
+
+double VolumeForMillibottleneck(double target_pmb_s,
+                                const Stage& bottleneck) {
+  if (bottleneck.cap_attack <= 0 || bottleneck.cap_legit <= 0) {
+    throw std::invalid_argument("VolumeForMillibottleneck: bad capacity");
+  }
+  const double legit_util = bottleneck.legit_rate / bottleneck.cap_legit;
+  if (legit_util >= 1.0) return 0.0;  // already saturated: any volume works
+  return target_pmb_s * bottleneck.cap_attack * (1.0 - legit_util);
+}
+
+std::vector<Candidate> RankCandidates(std::vector<Candidate> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.kind != y.kind) {
+                return x.kind == BlockingKind::kExecution;
+              }
+              if (x.volume_for_pmb != y.volume_for_pmb) {
+                return x.volume_for_pmb < y.volume_for_pmb;
+              }
+              return x.type < y.type;
+            });
+  return candidates;
+}
+
+BlockingKind KindFromDependencies(
+    microsvc::RequestTypeId type,
+    std::span<const trace::PairwiseDep> group_pairs) {
+  for (const auto& p : group_pairs) {
+    if (p.type == trace::DepType::kMutual && (p.a == type || p.b == type)) {
+      return BlockingKind::kExecution;
+    }
+    if (p.type == trace::DepType::kSequentialAUp && p.a == type) {
+      return BlockingKind::kExecution;
+    }
+    if (p.type == trace::DepType::kSequentialBUp && p.b == type) {
+      return BlockingKind::kExecution;
+    }
+  }
+  return BlockingKind::kCrossTier;
+}
+
+}  // namespace grunt::model

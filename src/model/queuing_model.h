@@ -1,0 +1,106 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "microsvc/types.h"
+#include "trace/dependency.h"
+
+namespace grunt::model {
+
+/// Per-microservice parameters of the Section III queuing network model
+/// (Table II). Rates are requests/second, queue sizes in requests.
+struct Stage {
+  double queue_size = 0;    ///< Q_i: thread slots
+  double cap_attack = 0;    ///< C_{i,A}: service rate for attack requests
+  double cap_legit = 0;     ///< C_{i,L}: service rate for legitimate requests
+  double legit_rate = 0;    ///< lambda_i: background arrival rate
+};
+
+/// Parameters of one attack burst.
+struct Burst {
+  double rate = 0;      ///< B: attack requests/second during the burst
+  double length_s = 0;  ///< L: burst length in seconds
+
+  double volume() const { return rate * length_s; }  ///< V = B * L
+};
+
+// --- Blocking effects of a single burst (Sec III-A) ---
+
+/// Eq (1): queue built by a burst when the millibottleneck sits on a shared
+/// upstream microservice (execution blocking). Returns 0 when the burst does
+/// not exceed capacity.
+double QueueFromExecutionBlocking(const Burst& burst, const Stage& s);
+
+/// Eq (2): time (seconds) to fill up stage `s`'s queue at burst rate B.
+/// Returns +inf when the stage is not overloaded by the burst.
+double FillTime(const Burst& burst, const Stage& s);
+
+/// Eq (3): queue built by a burst whose millibottleneck is the *last* stage
+/// of `stages` (stages s..n along the path, upstream first). The burst must
+/// first fill every downstream queue (stages s+1..n) before queueing at the
+/// shared upstream stage. Returns 0 when the burst is too short to overflow.
+double QueueFromCrossTierBlocking(const Burst& burst,
+                                  std::span<const Stage> stages);
+
+/// Eq (4): damage latency t_damage = Q_B / C_{n,A}.
+double DamageLatency(double queue, const Stage& bottleneck);
+
+/// Eq (5): millibottleneck length P_MB created by the burst on the
+/// bottleneck stage (adapted from Tail Attack [51]). Returns +inf when the
+/// background load alone saturates the stage.
+double MillibottleneckLength(const Burst& burst, const Stage& bottleneck);
+
+// --- Persistent blocking effects in a dependency group (Sec III-B) ---
+
+/// Eq (6): total damage from the initial mixed burst over m paths.
+double TotalDamage(std::span<const double> per_path_damage);
+
+/// Eq (7): remaining damage latency after the first interval I_0.
+double RemainingDamage(double total_damage, double interval_s);
+
+/// Eq (8) steady state / Eq (9): the interval after burst i that keeps
+/// t_min constant equals that burst's damage latency.
+std::vector<double> RequiredIntervals(std::span<const double> per_path_damage);
+
+// --- Inverse relations used by the Commander's initialisation ---
+
+/// Burst length achieving a target millibottleneck length at fixed rate B
+/// (inverse of Eq (5)). Returns 0 when the stage is already saturated.
+double BurstLengthForMillibottleneck(double target_pmb_s, double rate_b,
+                                     const Stage& bottleneck);
+
+/// Attack volume V = B*L that triggers a millibottleneck of target length —
+/// independent of the B/L split (Sec III-C ranks paths by this volume).
+double VolumeForMillibottleneck(double target_pmb_s, const Stage& bottleneck);
+
+// --- Candidate-path ranking (Sec III-C) ---
+
+/// How a path blocks the rest of its dependency group.
+enum class BlockingKind : std::uint8_t {
+  kExecution,  ///< bottleneck on a shared UM: blocks others directly
+  kCrossTier,  ///< must fill downstream queues first
+};
+
+struct Candidate {
+  microsvc::RequestTypeId type = microsvc::kInvalidRequestType;
+  BlockingKind kind = BlockingKind::kCrossTier;
+  /// Volume needed to trigger the reference millibottleneck (P_MB = 500 ms).
+  double volume_for_pmb = 0;
+};
+
+/// Priority order for attacking a dependency group: execution-blocking paths
+/// first (they block others without filling downstream queues), then
+/// cross-tier paths; ties broken by ascending volume (stealthier), then by
+/// type id for determinism.
+std::vector<Candidate> RankCandidates(std::vector<Candidate> candidates);
+
+/// Derives each member's BlockingKind from the group's pairwise
+/// dependencies: a path that is the upstream side of any sequential
+/// dependency, or party to a mutual dependency, can trigger execution
+/// blocking; everything else needs cross-tier overflow.
+BlockingKind KindFromDependencies(
+    microsvc::RequestTypeId type,
+    std::span<const trace::PairwiseDep> group_pairs);
+
+}  // namespace grunt::model

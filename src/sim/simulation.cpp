@@ -1,0 +1,83 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace grunt::sim {
+
+void EventHandle::Cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Simulation::At(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulation::At: time in the past");
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{at, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Simulation::After(SimDuration delay, std::function<void()> fn) {
+  return At(now_ + std::max<SimDuration>(0, delay), std::move(fn));
+}
+
+EventHandle Simulation::Every(SimDuration period, std::function<void()> fn) {
+  if (period <= 0) throw std::invalid_argument("Simulation::Every: period<=0");
+  auto state = std::make_shared<EventHandle::State>();
+  // Self-rescheduling repeater; stops once the shared handle is cancelled.
+  struct Repeater {
+    Simulation* sim;
+    SimDuration period;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+    void Arm() {
+      auto self = *this;
+      sim->At(sim->Now() + period, [self]() mutable {
+        if (self.state->cancelled) return;
+        self.fn();
+        if (!self.state->cancelled) self.Arm();
+      });
+    }
+  };
+  Repeater{this, period, std::move(fn), state}.Arm();
+  return EventHandle(std::move(state));
+}
+
+bool Simulation::FireNext() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.state->cancelled) continue;
+    now_ = ev.time;
+    ev.state->fired = true;
+    ev.fn();
+    ++events_fired_;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::RunUntil(SimTime until) {
+  stop_requested_ = false;
+  std::uint64_t fired = 0;
+  while (!stop_requested_ && !queue_.empty() && queue_.top().time <= until) {
+    if (FireNext()) ++fired;
+  }
+  if (!stop_requested_) now_ = std::max(now_, until);
+  return fired;
+}
+
+std::uint64_t Simulation::RunAll() {
+  stop_requested_ = false;
+  std::uint64_t fired = 0;
+  while (!stop_requested_ && FireNext()) ++fired;
+  return fired;
+}
+
+}  // namespace grunt::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace grunt::sim {
+
+/// Handle to a scheduled event; allows cancellation. Copyable; all copies
+/// refer to the same event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void Cancel();
+
+  /// True if the event is still pending (scheduled, not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Simulation;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Single-threaded discrete-event simulation core.
+///
+/// Events scheduled for the same time fire in scheduling order (a
+/// monotonically increasing sequence number breaks ties), which makes runs
+/// fully deterministic.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must be >= Now()).
+  EventHandle At(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (clamped to >= 0) from Now().
+  EventHandle After(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules `fn` to run every `period`, first firing at Now() + `period`.
+  /// Cancelling the returned handle stops the series.
+  EventHandle Every(SimDuration period, std::function<void()> fn);
+
+  /// Runs until the event queue drains or `until` is reached, whichever is
+  /// first. The clock is advanced to `until` on return if the queue drained
+  /// earlier. Returns the number of events fired.
+  std::uint64_t RunUntil(SimTime until);
+
+  /// Runs until the event queue is empty. Returns the number of events fired.
+  std::uint64_t RunAll();
+
+  /// Requests that the current Run* call return after the in-flight event.
+  void Stop() { stop_requested_ = true; }
+
+  std::uint64_t events_fired() const { return events_fired_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool FireNext();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_fired_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace grunt::sim

@@ -1,0 +1,254 @@
+#include "trace/dependency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace grunt::trace {
+
+const char* ToString(DepType t) {
+  switch (t) {
+    case DepType::kNone: return "none";
+    case DepType::kParallel: return "parallel";
+    case DepType::kSequentialAUp: return "sequential(a-up)";
+    case DepType::kSequentialBUp: return "sequential(b-up)";
+    case DepType::kMutual: return "mutual";
+  }
+  return "?";
+}
+
+bool IsDependent(DepType t) { return t != DepType::kNone; }
+
+bool SameKind(DepType x, DepType y) {
+  auto canon = [](DepType t) {
+    return t == DepType::kSequentialBUp ? DepType::kSequentialAUp : t;
+  };
+  return canon(x) == canon(y);
+}
+
+GroundTruth::GroundTruth(const microsvc::Application& app,
+                         std::vector<double> type_rates, double pmb_limit_s)
+    : app_(app), type_rates_(std::move(type_rates)),
+      pmb_limit_s_(pmb_limit_s) {
+  if (type_rates_.size() != app_.request_type_count()) {
+    throw std::invalid_argument("GroundTruth: rate per request type required");
+  }
+  service_util_.assign(app_.service_count(), 0.0);
+  for (std::size_t t = 0; t < type_rates_.size(); ++t) {
+    const auto tid = static_cast<microsvc::RequestTypeId>(t);
+    for (const auto& hop : app_.request_type(tid).hops) {
+      const auto& spec = app_.service(hop.service);
+      const double cores = static_cast<double>(spec.initial_replicas) *
+                           static_cast<double>(spec.cores_per_replica);
+      service_util_[static_cast<std::size_t>(hop.service)] +=
+          type_rates_[t] * ToSeconds(hop.cpu_demand + hop.post_demand) / cores;
+    }
+  }
+}
+
+double GroundTruth::DemandSeconds(microsvc::RequestTypeId t,
+                                  microsvc::ServiceId s) const {
+  for (const auto& hop : app_.request_type(t).hops) {
+    if (hop.service == s) return ToSeconds(hop.cpu_demand + hop.post_demand);
+  }
+  return 0.0;
+}
+
+double GroundTruth::ServiceUtil(microsvc::ServiceId s) const {
+  return service_util_.at(static_cast<std::size_t>(s));
+}
+
+double GroundTruth::SaturationHeadroom(microsvc::RequestTypeId t,
+                                       microsvc::ServiceId s) const {
+  const double demand = DemandSeconds(t, s);
+  if (demand <= 0) return std::numeric_limits<double>::infinity();
+  const auto& spec = app_.service(s);
+  const double cores = static_cast<double>(spec.initial_replicas) *
+                       static_cast<double>(spec.cores_per_replica);
+  const double spare = std::max(0.0, 1.0 - ServiceUtil(s));
+  return spare * cores / demand;
+}
+
+microsvc::ServiceId GroundTruth::BottleneckOf(microsvc::RequestTypeId t) const {
+  const auto& hops = app_.request_type(t).hops;
+  if (hops.empty()) return microsvc::kInvalidService;
+  microsvc::ServiceId best = hops.front().service;
+  double best_headroom = SaturationHeadroom(t, best);
+  for (const auto& hop : hops) {
+    const double h = SaturationHeadroom(t, hop.service);
+    if (h < best_headroom) {
+      best_headroom = h;
+      best = hop.service;
+    }
+  }
+  return best;
+}
+
+double GroundTruth::AttackCapacity(microsvc::RequestTypeId t,
+                                   microsvc::ServiceId s) const {
+  const double demand =
+      DemandSeconds(t, s) * app_.request_type(t).heavy_multiplier;
+  if (demand <= 0) return std::numeric_limits<double>::infinity();
+  const auto& spec = app_.service(s);
+  const double cores = static_cast<double>(spec.initial_replicas) *
+                       static_cast<double>(spec.cores_per_replica);
+  return cores / demand;
+}
+
+double GroundTruth::StealthBacklog(microsvc::RequestTypeId t) const {
+  const microsvc::ServiceId b = BottleneckOf(t);
+  if (b == microsvc::kInvalidService) return 0;
+  const double cap = AttackCapacity(t, b);
+  if (!std::isfinite(cap)) return 0;
+  // Inverse of Eq (5): the backlog whose drain time equals the stealth cap.
+  const double spare = std::max(0.0, 1.0 - ServiceUtil(b));
+  return pmb_limit_s_ * cap * spare;
+}
+
+double GroundTruth::BackgroundOccupancy(microsvc::ServiceId u) const {
+  // Little's law estimate: occupancy = sum over types through u of
+  // rate * residence, residence ~= demands from u to the end of the path
+  // plus per-message network latency (queueing excluded: a lower bound).
+  double occupancy = 0;
+  for (std::size_t t = 0; t < app_.request_type_count(); ++t) {
+    const auto tid = static_cast<microsvc::RequestTypeId>(t);
+    const auto idx = app_.HopIndexOf(tid, u);
+    if (!idx) continue;
+    const auto& hops = app_.request_type(tid).hops;
+    double residence = 0;
+    for (std::size_t h = *idx; h < hops.size(); ++h) {
+      residence += ToSeconds(hops[h].cpu_demand + hops[h].post_demand);
+    }
+    residence += 2.0 * ToSeconds(app_.net_latency()) *
+                 static_cast<double>(hops.size() - *idx);
+    occupancy += type_rates_[t] * residence;
+  }
+  return occupancy;
+}
+
+bool GroundTruth::CanOverflow(microsvc::RequestTypeId t,
+                              microsvc::ServiceId u) const {
+  const auto& spec = app_.service(u);
+  const double threads = static_cast<double>(spec.initial_replicas) *
+                         static_cast<double>(spec.threads_per_replica);
+  return StealthBacklog(t) + BackgroundOccupancy(u) >= threads;
+}
+
+DepType GroundTruth::Classify(microsvc::RequestTypeId a,
+                              microsvc::RequestTypeId b) const {
+  const auto shared = app_.SharedServices(a, b);
+  if (shared.empty()) return DepType::kNone;
+
+  const microsvc::ServiceId ba = BottleneckOf(a);
+  const microsvc::ServiceId bb = BottleneckOf(b);
+  if (ba == bb) return DepType::kMutual;
+
+  // x upstream of y on any path that contains both.
+  auto upstream = [&](microsvc::ServiceId x, microsvc::ServiceId y) {
+    return app_.IsUpstreamOn(a, x, y) || app_.IsUpstreamOn(b, x, y);
+  };
+  if (upstream(ba, bb)) return DepType::kSequentialAUp;
+  if (upstream(bb, ba)) return DepType::kSequentialBUp;
+
+  // Parallel: a shared microservice sits upstream of both bottlenecks AND a
+  // stealth-bounded burst on at least one of the paths can actually overflow
+  // that service's slot pool (cross-tier overflow must be able to reach it).
+  for (microsvc::ServiceId u : shared) {
+    if (app_.IsUpstreamOn(a, u, ba) && app_.IsUpstreamOn(b, u, bb) &&
+        (CanOverflow(a, u) || CanOverflow(b, u))) {
+      return DepType::kParallel;
+    }
+  }
+  return DepType::kNone;
+}
+
+std::vector<PairwiseDep> GroundTruth::AllPairs() const {
+  std::vector<PairwiseDep> out;
+  const auto types = app_.PublicDynamicTypes();
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    for (std::size_t j = i + 1; j < types.size(); ++j) {
+      PairwiseDep dep;
+      dep.a = types[i];
+      dep.b = types[j];
+      dep.type = Classify(dep.a, dep.b);
+      dep.bottleneck_a = BottleneckOf(dep.a);
+      dep.bottleneck_b = BottleneckOf(dep.b);
+      out.push_back(dep);
+    }
+  }
+  return out;
+}
+
+DependencyGroups::DependencyGroups(std::size_t type_count)
+    : parent_(type_count), rank_(type_count, 0) {
+  for (std::size_t i = 0; i < type_count; ++i) {
+    parent_[i] = static_cast<std::int32_t>(i);
+  }
+}
+
+std::int32_t DependencyGroups::FindRoot(std::int32_t x) const {
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    // Path halving.
+    parent_[static_cast<std::size_t>(x)] =
+        parent_[static_cast<std::size_t>(
+            parent_[static_cast<std::size_t>(x)])];
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+void DependencyGroups::Union(microsvc::RequestTypeId a,
+                             microsvc::RequestTypeId b) {
+  std::int32_t ra = FindRoot(a);
+  std::int32_t rb = FindRoot(b);
+  if (ra == rb) return;
+  if (rank_[static_cast<std::size_t>(ra)] <
+      rank_[static_cast<std::size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  if (rank_[static_cast<std::size_t>(ra)] ==
+      rank_[static_cast<std::size_t>(rb)]) {
+    ++rank_[static_cast<std::size_t>(ra)];
+  }
+}
+
+std::int32_t DependencyGroups::GroupOf(microsvc::RequestTypeId t) const {
+  return FindRoot(t);
+}
+
+bool DependencyGroups::SameGroup(microsvc::RequestTypeId a,
+                                 microsvc::RequestTypeId b) const {
+  return FindRoot(a) == FindRoot(b);
+}
+
+std::vector<std::vector<microsvc::RequestTypeId>> DependencyGroups::Groups()
+    const {
+  std::vector<std::vector<microsvc::RequestTypeId>> by_root(parent_.size());
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    by_root[static_cast<std::size_t>(
+        FindRoot(static_cast<std::int32_t>(i)))]
+        .push_back(static_cast<microsvc::RequestTypeId>(i));
+  }
+  std::vector<std::vector<microsvc::RequestTypeId>> groups;
+  for (auto& g : by_root) {
+    if (!g.empty()) groups.push_back(std::move(g));
+  }
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.size() > y.size();
+                   });
+  return groups;
+}
+
+DependencyGroups DependencyGroups::FromPairs(
+    std::size_t type_count, const std::vector<PairwiseDep>& pairs) {
+  DependencyGroups groups(type_count);
+  for (const auto& p : pairs) {
+    if (IsDependent(p.type)) groups.Union(p.a, p.b);
+  }
+  return groups;
+}
+
+}  // namespace grunt::trace

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "microsvc/application.h"
+
+namespace grunt::trace {
+
+/// Pairwise execution dependency between two critical paths (Sec III-C,
+/// Definitions I & II, plus the degenerate same-bottleneck case).
+enum class DepType : std::uint8_t {
+  kNone = 0,
+  /// Different bottlenecks, shared upstream microservice: either path can
+  /// block the other only via cross-tier queue overflow (Definition I).
+  kParallel,
+  /// a's bottleneck is upstream of b's bottleneck on b's path: a triggers an
+  /// execution blocking effect over b directly (Definition II).
+  kSequentialAUp,
+  /// Mirror of kSequentialAUp with b upstream.
+  kSequentialBUp,
+  /// Both paths bottleneck on the same microservice: each blocks the other
+  /// directly (mutual execution blocking).
+  kMutual,
+};
+
+const char* ToString(DepType t);
+bool IsDependent(DepType t);
+/// Collapses direction: kSequentialAUp/BUp compare equal.
+bool SameKind(DepType x, DepType y);
+
+struct PairwiseDep {
+  microsvc::RequestTypeId a = microsvc::kInvalidRequestType;
+  microsvc::RequestTypeId b = microsvc::kInvalidRequestType;
+  DepType type = DepType::kNone;
+  microsvc::ServiceId bottleneck_a = microsvc::kInvalidService;
+  microsvc::ServiceId bottleneck_b = microsvc::kInvalidService;
+};
+
+/// Analytic (white-box) dependency model: given the application spec and the
+/// per-type legitimate request rates, computes each service's background
+/// utilization, each path's bottleneck microservice (the one an additional
+/// burst saturates first), and the paper's pairwise dependency types. This
+/// is the evaluation-side ground truth the paper obtains from Jaeger +
+/// Collectl; the blackbox Profiler is scored against it (Fig 16).
+class GroundTruth {
+ public:
+  /// `type_rates[t]` = legitimate requests/second of type t. `pmb_limit_s`
+  /// is the attacker's stealth cap on millibottleneck length; it bounds the
+  /// backlog an attack burst can build and therefore which upstream slot
+  /// pools cross-tier overflow can actually reach (a parallel dependency
+  /// through a 4096-thread gateway is not exploitable and is not counted).
+  GroundTruth(const microsvc::Application& app, std::vector<double> type_rates,
+              double pmb_limit_s = 0.5);
+
+  /// Mean CPU demand (pre + post) of type `t` at service `s`, in seconds;
+  /// 0 when s is not on t's path.
+  double DemandSeconds(microsvc::RequestTypeId t, microsvc::ServiceId s) const;
+
+  /// Background CPU utilization of `s` under the given rates.
+  double ServiceUtil(microsvc::ServiceId s) const;
+
+  /// Additional requests/second of type `t` needed to saturate service `s`
+  /// (infinity when s is not on t's path).
+  double SaturationHeadroom(microsvc::RequestTypeId t,
+                            microsvc::ServiceId s) const;
+
+  /// The bottleneck microservice of path `t`: the hop that saturates first
+  /// as the rate of `t` grows.
+  microsvc::ServiceId BottleneckOf(microsvc::RequestTypeId t) const;
+
+  /// Service rate of `s` for ATTACK requests of type `t` (heavy variant),
+  /// requests/second; +inf when s is not on t's path or has zero demand.
+  double AttackCapacity(microsvc::RequestTypeId t, microsvc::ServiceId s) const;
+
+  /// Largest backlog (requests) an attack burst on `t` can pile up at its
+  /// bottleneck while keeping P_MB under the stealth cap (from Eq 5).
+  double StealthBacklog(microsvc::RequestTypeId t) const;
+
+  /// Mean number of busy thread slots at `u` under background load alone
+  /// (M/G/inf-style estimate from per-type residence times).
+  double BackgroundOccupancy(microsvc::ServiceId u) const;
+
+  /// True if a stealth-bounded burst on `t` can overflow upstream service
+  /// `u`'s slot pool (cross-tier queue overflow reaching u).
+  bool CanOverflow(microsvc::RequestTypeId t, microsvc::ServiceId u) const;
+
+  DepType Classify(microsvc::RequestTypeId a, microsvc::RequestTypeId b) const;
+
+  /// All unordered pairs over the app's public dynamic types.
+  std::vector<PairwiseDep> AllPairs() const;
+
+  const microsvc::Application& app() const { return app_; }
+
+ private:
+  const microsvc::Application& app_;
+  std::vector<double> type_rates_;
+  double pmb_limit_s_;
+  std::vector<double> service_util_;
+};
+
+/// Union-find partition of request types into dependency groups: paths with
+/// any (direct or transitive) pairwise dependency share a group (Sec II-B).
+class DependencyGroups {
+ public:
+  explicit DependencyGroups(std::size_t type_count);
+
+  void Union(microsvc::RequestTypeId a, microsvc::RequestTypeId b);
+  std::int32_t GroupOf(microsvc::RequestTypeId t) const;
+  bool SameGroup(microsvc::RequestTypeId a, microsvc::RequestTypeId b) const;
+
+  /// Groups as sorted member lists, largest first; singletons included.
+  std::vector<std::vector<microsvc::RequestTypeId>> Groups() const;
+
+  static DependencyGroups FromPairs(std::size_t type_count,
+                                    const std::vector<PairwiseDep>& pairs);
+
+ private:
+  std::int32_t FindRoot(std::int32_t x) const;
+  mutable std::vector<std::int32_t> parent_;
+  std::vector<std::int32_t> rank_;
+};
+
+}  // namespace grunt::trace

@@ -1,0 +1,116 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace grunt::trace {
+
+void Tracer::OnSpan(const microsvc::SpanEvent& span) {
+  RequestTrace& t = traces_[span.request_id];
+  if (t.hops.empty()) {
+    t.request_id = span.request_id;
+    t.type = span.type;
+    t.cls = span.cls;
+  }
+  if (t.hops.size() <= span.hop_index) t.hops.resize(span.hop_index + 1);
+  HopSpan& h = t.hops[span.hop_index];
+  h.service = span.service;
+  h.hop_index = span.hop_index;
+  h.arrived = span.arrived;
+  h.slot_granted = span.slot_granted;
+  h.finished = span.finished;
+  ++span_count_;
+}
+
+const RequestTrace* Tracer::Find(std::uint64_t request_id) const {
+  auto it = traces_.find(request_id);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+std::vector<const RequestTrace*> Tracer::CompletedTraces() const {
+  std::vector<const RequestTrace*> out;
+  for (const auto& [id, t] : traces_) {
+    if (t.complete()) out.push_back(&t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestTrace* a, const RequestTrace* b) {
+              return a->request_id < b->request_id;
+            });
+  return out;
+}
+
+double Tracer::ArrivalRate(microsvc::ServiceId service, SimTime from,
+                           SimTime to) const {
+  if (to <= from) return 0;
+  std::int64_t count = 0;
+  for (const auto& [id, t] : traces_) {
+    for (const auto& h : t.hops) {
+      if (h.service == service && h.arrived >= from && h.arrived < to) {
+        ++count;
+      }
+    }
+  }
+  return static_cast<double>(count) / ToSeconds(to - from);
+}
+
+void Tracer::Clear() { traces_.clear(); }
+
+std::vector<std::size_t> CriticalPath(const ExecutionDag& dag) {
+  const std::size_t n = dag.nodes.size();
+  if (n == 0) return {};
+  // Kahn topological order with cycle detection.
+  std::vector<std::size_t> indeg(n, 0);
+  for (const auto& children : dag.edges) {
+    for (std::size_t c : children) {
+      if (c >= n) throw std::invalid_argument("CriticalPath: bad edge");
+      ++indeg[c];
+    }
+  }
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  // Process smallest-index-first for deterministic tie-breaking.
+  while (!ready.empty()) {
+    std::sort(ready.begin(), ready.end(), std::greater<>());
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    if (u < dag.edges.size()) {
+      for (std::size_t c : dag.edges[u]) {
+        if (--indeg[c] == 0) ready.push_back(c);
+      }
+    }
+  }
+  if (order.size() != n) throw std::invalid_argument("CriticalPath: cycle");
+
+  std::vector<SimDuration> best(n);
+  std::vector<std::ptrdiff_t> pred(n, -1);
+  for (std::size_t i = 0; i < n; ++i) best[i] = dag.nodes[i].duration;
+  for (std::size_t u : order) {
+    if (u >= dag.edges.size()) continue;
+    for (std::size_t c : dag.edges[u]) {
+      const SimDuration cand = best[u] + dag.nodes[c].duration;
+      if (cand > best[c] ||
+          (cand == best[c] &&
+           (pred[c] == -1 || static_cast<std::size_t>(pred[c]) > u))) {
+        best[c] = cand;
+        pred[c] = static_cast<std::ptrdiff_t>(u);
+      }
+    }
+  }
+  std::size_t end = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (best[i] > best[end]) end = i;
+  }
+  std::vector<std::size_t> path;
+  for (std::ptrdiff_t v = static_cast<std::ptrdiff_t>(end); v != -1;
+       v = pred[static_cast<std::size_t>(v)]) {
+    path.push_back(static_cast<std::size_t>(v));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace grunt::trace

@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+namespace grunt {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* tag)
+    : enabled_(level >= g_level && g_level != LogLevel::kOff) {
+  if (enabled_) stream_ << "[" << tag << "] ";
+}
+
+LogLine::~LogLine() {
+  if (enabled_) std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace internal
+
+std::string FormatTime(SimTime t) {
+  std::ostringstream os;
+  os << (static_cast<double>(t) / static_cast<double>(kSecond)) << "s";
+  return os.str();
+}
+
+}  // namespace grunt

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/time_types.h"
+
+namespace grunt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; benches raise it to keep output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+inline internal::LogLine LogDebug() {
+  return internal::LogLine(LogLevel::kDebug, "DEBUG");
+}
+inline internal::LogLine LogInfo() {
+  return internal::LogLine(LogLevel::kInfo, "INFO ");
+}
+inline internal::LogLine LogWarn() {
+  return internal::LogLine(LogLevel::kWarn, "WARN ");
+}
+inline internal::LogLine LogError() {
+  return internal::LogLine(LogLevel::kError, "ERROR");
+}
+
+}  // namespace grunt

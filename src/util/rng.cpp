@@ -1,0 +1,85 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace grunt {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashName(std::uint64_t master_seed, std::string_view name) {
+  // FNV-1a over the name, then SplitMix64 finalize together with the seed.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return SplitMix64(h ^ SplitMix64(master_seed));
+}
+
+RngStream::RngStream(std::uint64_t master_seed, std::string_view name)
+    : name_(name), seed_(HashName(master_seed, name)), engine_(seed_) {}
+
+double RngStream::NextDouble() {
+  // 53-bit mantissa in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t RngStream::NextInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("RngStream::NextInt: lo > hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double RngStream::NextExp(double mean) {
+  if (mean <= 0) throw std::invalid_argument("RngStream::NextExp: mean <= 0");
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return -mean * std::log1p(-u);
+}
+
+SimDuration RngStream::NextExpDuration(SimDuration mean) {
+  if (mean <= 0) return 0;
+  return static_cast<SimDuration>(NextExp(static_cast<double>(mean)));
+}
+
+double RngStream::NextNormal(double mean, double stddev, double floor) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return std::max(floor, dist(engine_));
+}
+
+std::int64_t RngStream::NextPoisson(double mean) {
+  if (mean <= 0) return 0;
+  std::poisson_distribution<std::int64_t> dist(mean);
+  return dist(engine_);
+}
+
+bool RngStream::NextBool(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+std::size_t RngStream::NextWeighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0) {
+    throw std::invalid_argument("RngStream::NextWeighted: no positive weight");
+  }
+  double r = NextDouble() * total;
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += std::max(0.0, weights[i]);
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace grunt

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace grunt {
+
+/// A named, independently-seeded random stream.
+///
+/// Every source of randomness in the simulator (each client, each service,
+/// each profiling probe) owns its own RngStream derived from a master seed
+/// and a stable name, so adding or removing one consumer never perturbs the
+/// draws seen by another. This is what makes whole-simulation runs
+/// reproducible and diffable across code changes.
+class RngStream {
+ public:
+  /// Derives the stream seed by hashing `name` into `master_seed`
+  /// (SplitMix64 finalizer over a FNV-1a digest of the name).
+  RngStream(std::uint64_t master_seed, std::string_view name);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExp(double mean);
+
+  /// Exponentially distributed duration with the given mean duration.
+  SimDuration NextExpDuration(SimDuration mean);
+
+  /// Normal draw; result clamped to be >= `floor` (useful for service times).
+  double NextNormal(double mean, double stddev, double floor = 0.0);
+
+  /// Poisson draw with the given mean.
+  std::int64_t NextPoisson(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t NextWeighted(const std::vector<double>& weights);
+
+  std::uint64_t seed() const { return seed_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+/// Stateless mixing helpers, exposed for tests and for deriving child seeds.
+std::uint64_t SplitMix64(std::uint64_t x);
+std::uint64_t HashName(std::uint64_t master_seed, std::string_view name);
+
+}  // namespace grunt

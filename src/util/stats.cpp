@@ -1,0 +1,131 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace grunt {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::Reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::infinity() : min_;
+}
+
+double RunningStats::max() const {
+  return count_ == 0 ? -std::numeric_limits<double>::infinity() : max_;
+}
+
+void Samples::Add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Samples::Clear() {
+  values_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void Samples::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: ceil(p/100 * N), 1-indexed.
+  const auto n = static_cast<double>(sorted_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return sorted_[rank - 1];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (buckets == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::Add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::BucketLow(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::BucketHigh(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+}  // namespace grunt

@@ -1,0 +1,130 @@
+#include "microsvc/application.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace grunt::microsvc {
+namespace {
+
+using testing::Svc;
+using testing::Type;
+
+TEST(ApplicationBuilder, BuildsValidTopology) {
+  const Application app = grunt::testing::TwoPathParallelApp();
+  EXPECT_EQ(app.service_count(), 5u);
+  EXPECT_EQ(app.request_type_count(), 2u);
+  EXPECT_EQ(app.name(), "two-path-parallel");
+  EXPECT_TRUE(app.FindService("um").has_value());
+  EXPECT_FALSE(app.FindService("nope").has_value());
+  EXPECT_TRUE(app.FindRequestType("a").has_value());
+  EXPECT_FALSE(app.FindRequestType("zzz").has_value());
+}
+
+TEST(ApplicationBuilder, RejectsDuplicateServiceNames) {
+  Application::Builder b;
+  b.AddService(Svc("dup", 4, 1));
+  b.AddService(Svc("dup", 4, 1));
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(ApplicationBuilder, RejectsDanglingServiceReference) {
+  Application::Builder b;
+  b.AddService(Svc("only", 4, 1));
+  b.AddRequestType(Type("t", {{5, Us(100), 0}}));
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(ApplicationBuilder, RejectsEmptyDynamicPath) {
+  Application::Builder b;
+  b.AddService(Svc("s", 4, 1));
+  b.AddRequestType(Type("empty", {}));
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(ApplicationBuilder, RejectsRepeatedServiceOnPath) {
+  Application::Builder b;
+  const ServiceId s = b.AddService(Svc("s", 4, 1));
+  b.AddRequestType(Type("loop", {{s, Us(100), 0}, {s, Us(100), 0}}));
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(ApplicationBuilder, RejectsNegativeDemandAndBadHeavy) {
+  {
+    Application::Builder b;
+    const ServiceId s = b.AddService(Svc("s", 4, 1));
+    b.AddRequestType(Type("neg", {{s, -5, 0}}));
+    EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+  }
+  {
+    Application::Builder b;
+    const ServiceId s = b.AddService(Svc("s", 4, 1));
+    b.AddRequestType(Type("light", {{s, Us(10), 0}}, /*heavy=*/0.5));
+    EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+  }
+}
+
+TEST(ApplicationBuilder, RejectsInvalidSizing) {
+  Application::Builder b;
+  ServiceSpec bad = Svc("bad", 0, 1);
+  b.AddService(bad);
+  EXPECT_THROW(std::move(b).Build(), std::invalid_argument);
+}
+
+TEST(ApplicationBuilder, AllowsStaticTypeWithoutHops) {
+  Application::Builder b;
+  b.AddService(Svc("gw", 4, 1));
+  RequestTypeSpec st;
+  st.name = "static";
+  st.is_static = true;
+  b.AddRequestType(st);
+  const Application app = std::move(b).Build();
+  EXPECT_TRUE(app.PublicDynamicTypes().empty());
+}
+
+TEST(ApplicationTopology, PathAndSharedServiceQueries) {
+  const Application app = grunt::testing::TwoPathParallelApp();
+  const auto a = *app.FindRequestType("a");
+  const auto b = *app.FindRequestType("b");
+  const auto gw = *app.FindService("gw");
+  const auto um = *app.FindService("um");
+  const auto wa = *app.FindService("worker-a");
+  const auto leaf = *app.FindService("leaf");
+
+  EXPECT_EQ(app.PathServices(a).size(), 4u);
+  const auto shared = app.SharedServices(a, b);
+  EXPECT_EQ(shared, (std::vector<ServiceId>{gw, um, leaf}));
+
+  EXPECT_EQ(app.HopIndexOf(a, um), 1u);
+  EXPECT_FALSE(app.HopIndexOf(b, wa).has_value());
+
+  EXPECT_TRUE(app.IsUpstreamOn(a, gw, wa));
+  EXPECT_TRUE(app.IsUpstreamOn(a, um, leaf));
+  EXPECT_FALSE(app.IsUpstreamOn(a, leaf, um));
+  EXPECT_FALSE(app.IsUpstreamOn(b, wa, leaf));  // wa not on path b
+
+  EXPECT_EQ(app.TypesThrough(um).size(), 2u);
+  EXPECT_EQ(app.TypesThrough(wa).size(), 1u);
+}
+
+TEST(ApplicationTopology, PublicDynamicTypesExcludesStatic) {
+  Application::Builder b;
+  const ServiceId s = b.AddService(Svc("s", 4, 1));
+  b.AddRequestType(Type("dyn", {{s, Us(10), 0}}));
+  RequestTypeSpec st;
+  st.name = "static";
+  st.is_static = true;
+  b.AddRequestType(st);
+  const Application app = std::move(b).Build();
+  const auto types = app.PublicDynamicTypes();
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(app.request_type(types[0]).name, "dyn");
+}
+
+TEST(ApplicationBuilder, NetLatencyValidation) {
+  Application::Builder b;
+  EXPECT_THROW(b.SetNetLatency(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grunt::microsvc

@@ -1,0 +1,136 @@
+// The paper's two blocking effects (Sec II-A / Fig 5) must EMERGE from the
+// slot-holding RPC semantics — nothing in the simulator encodes them
+// directly. These tests drive bursts and probes exactly like the attacker
+// does and assert the blocking behaviour from the outside.
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "microsvc/cluster.h"
+
+namespace grunt::microsvc {
+namespace {
+
+/// Submits `n` heavy requests of `type` at `at`, then one light probe of
+/// `probe_type` at `probe_at`; returns the probe's response time.
+SimDuration ProbeUnderBurst(const Application& app, RequestTypeId burst_type,
+                            int n, SimTime at, RequestTypeId probe_type,
+                            SimTime probe_at) {
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  sim.At(at, [&] {
+    for (int i = 0; i < n; ++i) {
+      cluster.Submit(burst_type, RequestClass::kAttack, /*heavy=*/true, 7);
+    }
+  });
+  SimDuration probe_rt = -1;
+  sim.At(probe_at, [&] {
+    cluster.Submit(probe_type, RequestClass::kProbe, false, 8,
+                   [&](const CompletionRecord& r) { probe_rt = r.end - r.start; });
+  });
+  sim.RunAll();
+  EXPECT_GE(probe_rt, 0);
+  return probe_rt;
+}
+
+SimDuration BaselineRt(const Application& app, RequestTypeId type) {
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  SimDuration rt = -1;
+  cluster.Submit(type, RequestClass::kProbe, false, 8,
+                 [&](const CompletionRecord& r) { rt = r.end - r.start; });
+  sim.RunAll();
+  return rt;
+}
+
+TEST(BlockingEffects, CrossTierOverflowBlocksSiblingPath) {
+  const Application app = grunt::testing::TwoPathParallelApp();
+  const SimDuration base = BaselineRt(app, 1);
+  // 60 heavy type-a requests >> um's 12 slots: overflow reaches the shared
+  // upstream service and type-b probes stall there.
+  const SimDuration blocked = ProbeUnderBurst(app, 0, 60, 0, 1, Ms(50));
+  EXPECT_GT(blocked, 5 * base);
+}
+
+TEST(BlockingEffects, SmallBurstDoesNotOverflowSharedUpstream) {
+  const Application app = grunt::testing::TwoPathParallelApp();
+  const SimDuration base = BaselineRt(app, 1);
+  // 6 requests < 12 slots: no overflow, sibling path unaffected.
+  const SimDuration probe = ProbeUnderBurst(app, 0, 6, 0, 1, Ms(10));
+  EXPECT_LT(probe, 2 * base);
+}
+
+TEST(BlockingEffects, ExecutionBlockingNeedsNoSlotExhaustion) {
+  const Application app = grunt::testing::SequentialApp();
+  const SimDuration base = BaselineRt(app, 1);
+  // 8 heavy "up" requests fit inside um's 12 slots but saturate its CPU
+  // (8 x 32 ms over 4 cores): the "down" probe queues on the shared UM's
+  // CPU directly — execution blocking (Definition II, Fig 5a).
+  const SimDuration blocked = ProbeUnderBurst(app, 0, 8, 0, 1, Ms(5));
+  EXPECT_GT(blocked, 3 * base);
+}
+
+TEST(BlockingEffects, DisjointPathsDoNotInterfere) {
+  const Application app = grunt::testing::DisjointApp();
+  const SimDuration base = BaselineRt(app, 1);
+  const SimDuration probe = ProbeUnderBurst(app, 0, 60, 0, 1, Ms(50));
+  EXPECT_LT(probe, 2 * base);
+}
+
+TEST(BlockingEffects, OverflowVisibleInUpstreamQueueMetrics) {
+  const Application app = grunt::testing::TwoPathParallelApp();
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  for (int i = 0; i < 60; ++i) {
+    cluster.Submit(0, RequestClass::kAttack, true, 7);
+  }
+  sim.RunUntil(Ms(60));
+  const auto um = *app.FindService("um");
+  const auto gw = *app.FindService("gw");
+  auto& um_svc = cluster.service(um);
+  EXPECT_EQ(um_svc.slots_in_use(), 12);  // slot pool exhausted
+  EXPECT_GT(um_svc.slots_waiting(), 0);  // cross-tier queue at the UM
+  EXPECT_LT(cluster.service(gw).slots_in_use(), 100);  // gateway unaffected
+  sim.RunAll();
+  EXPECT_EQ(um_svc.slots_in_use(), 0);
+  EXPECT_EQ(cluster.completed_count(), 60u);
+}
+
+/// Property: the burst size needed to block the sibling path tracks the
+/// shared UM's slot-pool size.
+class OverflowThresholdTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(OverflowThresholdTest, ThresholdTracksUmThreads) {
+  const std::int32_t threads = GetParam();
+  const Application app =
+      grunt::testing::TwoPathParallelApp(ServiceTimeDist::kDeterministic,
+                                         threads);
+  const SimDuration base = BaselineRt(app, 1);
+  const SimDuration below =
+      ProbeUnderBurst(app, 0, threads / 2, 0, 1, Ms(10));
+  const SimDuration above =
+      ProbeUnderBurst(app, 0, threads + 30, 0, 1, Ms(50));
+  EXPECT_LT(below, 2 * base) << "threads=" << threads;
+  EXPECT_GT(above, 4 * base) << "threads=" << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotPools, OverflowThresholdTest,
+                         ::testing::Values(8, 16, 24, 40));
+
+/// Property: with everything deterministic, blocked probe RT grows
+/// monotonically (within tolerance) with burst size once over the slot pool.
+class BurstSizeDamageTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BurstSizeDamageTest, MoreVolumeMoreDamage) {
+  const Application app = grunt::testing::TwoPathParallelApp();
+  const int n = GetParam();
+  const SimDuration smaller = ProbeUnderBurst(app, 0, n, 0, 1, Ms(50));
+  const SimDuration larger = ProbeUnderBurst(app, 0, n * 2, 0, 1, Ms(50));
+  EXPECT_GT(larger, smaller);
+}
+
+INSTANTIATE_TEST_SUITE_P(Volumes, BurstSizeDamageTest,
+                         ::testing::Values(20, 40, 80));
+
+}  // namespace
+}  // namespace grunt::microsvc

@@ -1,0 +1,143 @@
+// Additional ground-truth classification scenarios beyond the basic
+// fixtures: shared mid-path services, bottlenecks at leaves, longer chains,
+// and the interaction of utilization with bottleneck selection.
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "trace/dependency.h"
+
+namespace grunt::trace {
+namespace {
+
+using grunt::testing::Svc;
+using grunt::testing::Type;
+using microsvc::Application;
+using microsvc::ServiceId;
+
+std::vector<double> Rates(const Application& app, double r) {
+  return std::vector<double>(app.request_type_count(), r);
+}
+
+TEST(GroundTruthExtra, BottleneckMovesWithBackgroundLoad) {
+  // Two hops with close capacities: which one is the bottleneck depends on
+  // the background utilization each carries.
+  Application::Builder b;
+  b.SetNetLatency(Us(200));
+  const ServiceId gw = b.AddService(Svc("gw", 2048, 8));
+  const ServiceId s1 = b.AddService(Svc("s1", 64, 2));  // 10ms -> 200/s
+  const ServiceId s2 = b.AddService(Svc("s2", 64, 2));  // 9ms  -> 222/s
+  b.AddRequestType(Type("p", {{gw, Us(200), 0},
+                              {s1, Us(10000), 0},
+                              {s2, Us(9000), 0}}));
+  // A second type loads ONLY s2.
+  b.AddRequestType(Type("q", {{gw, Us(200), 0}, {s2, Us(9000), 0}}));
+  const auto app = std::move(b).Build();
+
+  // With no q traffic, s1 (lower capacity) is p's bottleneck.
+  GroundTruth idle(app, {10.0, 0.0});
+  EXPECT_EQ(idle.BottleneckOf(0), s1);
+  // Heavy q traffic burns s2's headroom: the bottleneck shifts to s2.
+  GroundTruth loaded(app, {10.0, 150.0});
+  EXPECT_EQ(loaded.BottleneckOf(0), s2);
+}
+
+TEST(GroundTruthExtra, SharedLeafBelowBothBottlenecksIsNoDependency) {
+  Application::Builder b;
+  b.SetNetLatency(Us(200));
+  const ServiceId gw = b.AddService(Svc("gw", 2048, 8));
+  const ServiceId wa = b.AddService(Svc("wa", 64, 2));
+  const ServiceId wb = b.AddService(Svc("wb", 64, 2));
+  const ServiceId leaf = b.AddService(Svc("shared-db", 128, 4));
+  b.AddRequestType(Type("a", {{gw, Us(200), 0},
+                              {wa, Us(9000), Us(500)},
+                              {leaf, Us(500), 0}}));
+  b.AddRequestType(Type("b", {{gw, Us(200), 0},
+                              {wb, Us(9000), Us(500)},
+                              {leaf, Us(500), 0}}));
+  const auto app = std::move(b).Build();
+  GroundTruth truth(app, Rates(app, 40.0));
+  // The shared db sits downstream of both bottlenecks: queueing there never
+  // blocks the other path's entry.
+  EXPECT_EQ(truth.Classify(0, 1), DepType::kNone);
+}
+
+TEST(GroundTruthExtra, SmallSharedMidServiceCreatesParallelDependency) {
+  // Like the previous case but the shared service sits BETWEEN the entry
+  // and the bottlenecks and has a small slot pool: overflow can reach it.
+  Application::Builder b;
+  b.SetNetLatency(Us(200));
+  const ServiceId gw = b.AddService(Svc("gw", 2048, 8));
+  const ServiceId mid = b.AddService(Svc("mid", 10, 4));
+  const ServiceId wa = b.AddService(Svc("wa", 64, 2));
+  const ServiceId wb = b.AddService(Svc("wb", 64, 2));
+  b.AddRequestType(Type("a", {{gw, Us(200), 0},
+                              {mid, Us(800), Us(300)},
+                              {wa, Us(9000), Us(500)}}));
+  b.AddRequestType(Type("b", {{gw, Us(200), 0},
+                              {mid, Us(800), Us(300)},
+                              {wb, Us(9000), Us(500)}}));
+  const auto app = std::move(b).Build();
+  GroundTruth truth(app, Rates(app, 40.0));
+  EXPECT_EQ(truth.Classify(0, 1), DepType::kParallel);
+}
+
+TEST(GroundTruthExtra, LongChainSequentialDirection) {
+  // Five-hop chains where one path's bottleneck is an early hop shared with
+  // the other path, whose own bottleneck is deeper.
+  Application::Builder b;
+  b.SetNetLatency(Us(200));
+  const ServiceId gw = b.AddService(Svc("gw", 2048, 8));
+  const ServiceId fe = b.AddService(Svc("fe", 16, 2));
+  const ServiceId m1 = b.AddService(Svc("m1", 96, 4));
+  const ServiceId deep = b.AddService(Svc("deep", 64, 2));
+  const ServiceId l1 = b.AddService(Svc("l1", 128, 2));
+  // Path "heavy-front": burns CPU at fe (its bottleneck).
+  b.AddRequestType(Type("heavy-front", {{gw, Us(200), 0},
+                                        {fe, Us(12000), Us(500)},
+                                        {l1, Us(300), 0}}));
+  // Path "deep-path": cheap at fe, expensive at `deep`.
+  b.AddRequestType(Type("deep-path", {{gw, Us(200), 0},
+                                      {fe, Us(800), Us(300)},
+                                      {m1, Us(500), 0},
+                                      {deep, Us(9000), Us(500)},
+                                      {l1, Us(300), 0}}));
+  const auto app = std::move(b).Build();
+  GroundTruth truth(app, Rates(app, 25.0));
+  EXPECT_EQ(truth.BottleneckOf(0), fe);
+  EXPECT_EQ(truth.BottleneckOf(1), deep);
+  EXPECT_EQ(truth.Classify(0, 1), DepType::kSequentialAUp);
+  EXPECT_EQ(truth.Classify(1, 0), DepType::kSequentialBUp);
+}
+
+TEST(GroundTruthExtra, SaturatedBackgroundKillsStealthBacklog) {
+  const auto app = grunt::testing::TwoPathParallelApp();
+  // Background beyond worker capacity: no stealth-bounded burst can add a
+  // millibottleneck that still drains within the cap.
+  GroundTruth truth(app, {250.0, 10.0});  // worker-a C_L ~210/s
+  EXPECT_NEAR(truth.StealthBacklog(0), 0.0, 1e-9);
+}
+
+TEST(GroundTruthExtra, BackgroundOccupancyGrowsWithDownstreamWork) {
+  const auto app = grunt::testing::TwoPathParallelApp();
+  GroundTruth truth(app, {50.0, 50.0});
+  const auto gw = *app.FindService("gw");
+  const auto um = *app.FindService("um");
+  const auto leaf = *app.FindService("leaf");
+  // Residence at the gateway covers the whole chain; at the leaf only its
+  // own service time: occupancy must be ordered accordingly.
+  EXPECT_GT(truth.BackgroundOccupancy(gw), truth.BackgroundOccupancy(um) * 0.9);
+  EXPECT_GT(truth.BackgroundOccupancy(um), truth.BackgroundOccupancy(leaf));
+}
+
+TEST(GroundTruthExtra, PairsAreSymmetricUpToDirection) {
+  const auto app = grunt::testing::SequentialApp();
+  GroundTruth truth(app, Rates(app, 30.0));
+  const DepType ab = truth.Classify(0, 1);
+  const DepType ba = truth.Classify(1, 0);
+  EXPECT_TRUE(SameKind(ab, ba));
+  EXPECT_NE(ab, ba);  // direction flips
+}
+
+}  // namespace
+}  // namespace grunt::trace

@@ -1,0 +1,163 @@
+#include "cloud/ids.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace grunt::cloud {
+namespace {
+
+using grunt::testing::SingleChainApp;
+
+struct Rig {
+  sim::Simulation sim;
+  microsvc::Application app = SingleChainApp();
+  microsvc::Cluster cluster{sim, app, 1};
+};
+
+TEST(Ids, FlagsFastConsecutiveRequestsFromOneSession) {
+  Rig rig;
+  Ids ids(rig.cluster, nullptr, nullptr, {});
+  ids.Start();
+  // Same client sends two requests 1 s apart (< 3 s threshold).
+  rig.sim.At(Sec(1), [&] {
+    rig.cluster.Submit(0, microsvc::RequestClass::kAttack, false, 77);
+  });
+  rig.sim.At(Sec(2), [&] {
+    rig.cluster.Submit(0, microsvc::RequestClass::kAttack, false, 77);
+  });
+  rig.sim.RunUntil(Sec(5));
+  EXPECT_EQ(ids.CountAlerts(AlertRule::kInterRequestInterval), 1u);
+  EXPECT_EQ(ids.attributed_attack_alerts(), 1u);
+}
+
+TEST(Ids, ToleratesHumanPacedSessions) {
+  Rig rig;
+  Ids ids(rig.cluster, nullptr, nullptr, {});
+  ids.Start();
+  for (int i = 0; i < 10; ++i) {
+    rig.sim.At(Sec(4 * i + 1), [&] {
+      rig.cluster.Submit(0, microsvc::RequestClass::kLegit, false, 5);
+    });
+  }
+  rig.sim.RunUntil(Sec(60));
+  EXPECT_EQ(ids.CountAlerts(AlertRule::kInterRequestInterval), 0u);
+}
+
+TEST(Ids, OneRequestPerBotEvadesTheIntervalRule) {
+  // The Grunt bot-farm discipline: every burst request comes from a fresh
+  // bot, so no session ever violates the inter-request threshold.
+  Rig rig;
+  Ids ids(rig.cluster, nullptr, nullptr, {});
+  ids.Start();
+  for (int i = 0; i < 100; ++i) {
+    rig.sim.At(Ms(10 * i + 1000), [&, i] {
+      rig.cluster.Submit(0, microsvc::RequestClass::kAttack, true,
+                         1000 + static_cast<std::uint64_t>(i));
+    });
+  }
+  rig.sim.RunUntil(Sec(10));
+  EXPECT_EQ(ids.CountAlerts(AlertRule::kInterRequestInterval), 0u);
+  EXPECT_EQ(ids.CountAlerts(AlertRule::kRateLimit), 0u);
+}
+
+TEST(Ids, RateLimitFlagsFloodFromOneIp) {
+  Rig rig;
+  Ids::Config cfg;
+  cfg.rate_limit = 50;
+  cfg.rate_window = Sec(60);
+  cfg.min_inter_request = 0;  // isolate the rate rule
+  Ids ids(rig.cluster, nullptr, nullptr, cfg);
+  ids.Start();
+  for (int i = 0; i < 120; ++i) {
+    rig.sim.At(Ms(100 * i + 100), [&] {
+      rig.cluster.Submit(0, microsvc::RequestClass::kAttack, true, 9);
+    });
+  }
+  rig.sim.RunUntil(Sec(30));
+  EXPECT_GE(ids.CountAlerts(AlertRule::kRateLimit), 2u);  // 120 / 50
+  EXPECT_GE(ids.attributed_attack_alerts(), 2u);
+}
+
+TEST(Ids, ResourceSaturationRuleFiresOnSustainedSaturation) {
+  Rig rig;
+  ResourceMonitor monitor(rig.cluster, {Sec(1), "m"});
+  Ids ids(rig.cluster, &monitor, nullptr, {});
+  monitor.Start();
+  ids.Start();
+  const auto s1 = *rig.app.FindService("s1");
+  // Saturate both cores for 6 s solid.
+  for (int c = 0; c < 2; ++c) {
+    rig.sim.At(Sec(1), [&, s1] {
+      rig.cluster.service(s1).RunCpu(Sec(6), [] {});
+    });
+  }
+  rig.sim.RunUntil(Sec(10));
+  EXPECT_GE(ids.CountAlerts(AlertRule::kResourceSaturation), 1u);
+}
+
+TEST(Ids, SubSecondSaturationPulsesDoNotTripResourceRule) {
+  Rig rig;
+  ResourceMonitor monitor(rig.cluster, {Sec(1), "m"});
+  Ids ids(rig.cluster, &monitor, nullptr, {});
+  monitor.Start();
+  ids.Start();
+  const auto s1 = *rig.app.FindService("s1");
+  for (SimTime t = Sec(1); t < Sec(30); t += Ms(1500)) {
+    rig.sim.At(t, [&, s1] {
+      for (int c = 0; c < 2; ++c) {
+        rig.cluster.service(s1).RunCpu(Ms(450), [] {});
+      }
+    });
+  }
+  rig.sim.RunUntil(Sec(30));
+  EXPECT_EQ(ids.CountAlerts(AlertRule::kResourceSaturation), 0u);
+}
+
+TEST(Ids, DegradationRuleSeesLongRtButHasNoClientAttribution) {
+  Rig rig;
+  ResponseTimeMonitor rt(rig.cluster, {Sec(1), "rt"});
+  Ids ids(rig.cluster, nullptr, &rt, {});
+  rt.Start();
+  ids.Start();
+  // Saturate s1 then send legit requests that will take > 1 s.
+  const auto s1 = *rig.app.FindService("s1");
+  rig.sim.At(Ms(100), [&] {
+    for (int i = 0; i < 600; ++i) {
+      rig.cluster.service(s1).RunCpu(Ms(10), [] {});
+    }
+    for (int i = 0; i < 5; ++i) {
+      rig.cluster.Submit(0, microsvc::RequestClass::kLegit, false, 1);
+    }
+  });
+  rig.sim.RunUntil(Sec(10));
+  EXPECT_GE(ids.CountAlerts(AlertRule::kServiceDegradation), 1u);
+  for (const auto& alert : ids.alerts()) {
+    if (alert.rule == AlertRule::kServiceDegradation) {
+      EXPECT_EQ(alert.client_id, 0u);  // no root-cause attribution
+    }
+  }
+  EXPECT_EQ(ids.attributed_attack_alerts(), 0u);
+}
+
+TEST(Ids, ContentChecksAlwaysPassOnWellFormedTraffic) {
+  Rig rig;
+  Ids ids(rig.cluster, nullptr, nullptr, {});
+  EXPECT_TRUE(ids.content_checks_passed());
+}
+
+TEST(Ids, StoppedIdsIgnoresTraffic) {
+  Rig rig;
+  Ids ids(rig.cluster, nullptr, nullptr, {});
+  ids.Start();
+  ids.Stop();
+  rig.sim.At(Sec(1), [&] {
+    rig.cluster.Submit(0, microsvc::RequestClass::kAttack, false, 7);
+    rig.cluster.Submit(0, microsvc::RequestClass::kAttack, false, 7);
+  });
+  rig.sim.RunUntil(Sec(3));
+  EXPECT_TRUE(ids.alerts().empty());
+}
+
+}  // namespace
+}  // namespace grunt::cloud

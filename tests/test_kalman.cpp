@@ -1,0 +1,68 @@
+#include "attack/kalman.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace grunt::attack {
+namespace {
+
+TEST(ScalarKalman, ConvergesToConstantSignal) {
+  ScalarKalman kf(/*q=*/0.01, /*r=*/4.0, /*x0=*/0.0, /*p0=*/100.0);
+  RngStream rng(1, "kf");
+  for (int i = 0; i < 500; ++i) {
+    kf.Update(10.0 + rng.NextNormal(0, 2, -100));
+  }
+  EXPECT_NEAR(kf.value(), 10.0, 0.5);
+  // Posterior variance settles well below the prior.
+  EXPECT_LT(kf.variance(), 1.0);
+}
+
+TEST(ScalarKalman, GainStaysInUnitInterval) {
+  ScalarKalman kf(1.0, 10.0, 0.0, 50.0);
+  for (int i = 0; i < 100; ++i) {
+    kf.Update(5.0);
+    EXPECT_GT(kf.last_gain(), 0.0);
+    EXPECT_LT(kf.last_gain(), 1.0);
+  }
+}
+
+TEST(ScalarKalman, SmoothsNoiseBetterThanRawMeasurements) {
+  ScalarKalman kf(0.1, 25.0, 100.0, 100.0);
+  RngStream rng(2, "kf2");
+  double raw_err = 0, kf_err = 0;
+  const double truth = 100.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double meas = truth + rng.NextNormal(0, 5, -1e9);
+    const double est = kf.Update(meas);
+    raw_err += (meas - truth) * (meas - truth);
+    kf_err += (est - truth) * (est - truth);
+  }
+  EXPECT_LT(kf_err, raw_err / 4);
+}
+
+TEST(ScalarKalman, TracksDriftingSignal) {
+  // With nonzero process noise the filter follows a ramp with bounded lag.
+  ScalarKalman kf(4.0, 25.0, 0.0, 100.0);
+  double truth = 0;
+  for (int i = 0; i < 300; ++i) {
+    truth += 1.0;
+    kf.Update(truth);
+  }
+  EXPECT_NEAR(kf.value(), truth, 5.0);
+}
+
+TEST(ScalarKalman, FirstUpdateDominatedByPriorVariance) {
+  ScalarKalman kf(0.0, 1.0, 0.0, 1e6);
+  kf.Update(42.0);
+  EXPECT_NEAR(kf.value(), 42.0, 0.01);  // huge prior variance -> trust data
+}
+
+TEST(ScalarKalman, RejectsInvalidVariances) {
+  EXPECT_THROW(ScalarKalman(-1, 1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ScalarKalman(1, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ScalarKalman(1, 1, 0, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grunt::attack

@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace grunt {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(Logging, StreamingCompilesForCommonTypes) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);  // keep test output clean
+  LogInfo() << "string " << 42 << " " << 3.14 << " " << true;
+  LogDebug() << "suppressed";
+  LogWarn() << "suppressed";
+  LogError() << "suppressed";
+  SUCCEED();
+}
+
+TEST(Logging, FormatTimeRendersSeconds) {
+  EXPECT_EQ(FormatTime(Sec(12)), "12s");
+  EXPECT_EQ(FormatTime(Ms(1500)), "1.5s");
+}
+
+}  // namespace
+}  // namespace grunt

@@ -1,0 +1,172 @@
+#include "model/queuing_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace grunt::model {
+namespace {
+
+Stage MakeStage(double q, double ca, double cl, double lambda) {
+  return Stage{q, ca, cl, lambda};
+}
+
+TEST(QueuingModel, Eq1QueueFromExecutionBlocking) {
+  // Q_B = L * (lambda + B - C_A): 0.5s * (100 + 500 - 200) = 200.
+  const Stage s = MakeStage(32, 200, 300, 100);
+  const Burst burst{500, 0.5};
+  EXPECT_DOUBLE_EQ(QueueFromExecutionBlocking(burst, s), 200.0);
+  // Under-capacity burst builds no queue.
+  EXPECT_DOUBLE_EQ(QueueFromExecutionBlocking({50, 0.5}, s), 0.0);
+}
+
+TEST(QueuingModel, Eq2FillTime) {
+  // l = Q / (lambda + B - C_A) = 40 / (100 + 500 - 200) = 0.1 s.
+  const Stage s = MakeStage(40, 200, 300, 100);
+  EXPECT_DOUBLE_EQ(FillTime({500, 1.0}, s), 0.1);
+  EXPECT_TRUE(std::isinf(FillTime({50, 1.0}, s)));
+}
+
+TEST(QueuingModel, Eq3CrossTierQueue) {
+  // Stages: shared UM s, then bottleneck n. Burst must fill n's queue
+  // before queueing at s.
+  const Stage um = MakeStage(32, 1000, 1500, 200);
+  const Stage bn = MakeStage(40, 200, 300, 100);
+  const Burst burst{500, 0.5};
+  const Stage stages[] = {um, bn};
+  // l_n = 0.1 s; effective L = 0.4 s; buildup = (200+100) + 500 - 200 = 600.
+  EXPECT_DOUBLE_EQ(QueueFromCrossTierBlocking(burst, stages), 0.4 * 600);
+  // A burst too short to fill the downstream queue builds nothing.
+  EXPECT_DOUBLE_EQ(QueueFromCrossTierBlocking({500, 0.05}, stages), 0.0);
+  // A burst that cannot overflow at all builds nothing.
+  EXPECT_DOUBLE_EQ(QueueFromCrossTierBlocking({50, 10.0}, stages), 0.0);
+  EXPECT_THROW(QueueFromCrossTierBlocking(burst, {}), std::invalid_argument);
+}
+
+TEST(QueuingModel, Eq4DamageLatency) {
+  const Stage s = MakeStage(32, 200, 300, 100);
+  EXPECT_DOUBLE_EQ(DamageLatency(100, s), 0.5);
+  EXPECT_DOUBLE_EQ(DamageLatency(-5, s), 0.0);
+  EXPECT_THROW(DamageLatency(10, MakeStage(1, 0, 1, 0)),
+               std::invalid_argument);
+}
+
+TEST(QueuingModel, Eq5MillibottleneckLength) {
+  // P_MB = B*L / C_A / (1 - lambda/C_L) = 250/200/0.5 = 2.5 s.
+  const Stage s = MakeStage(32, 200, 300, 150);
+  EXPECT_DOUBLE_EQ(MillibottleneckLength({500, 0.5}, s), 2.5);
+  // Saturated background -> infinite millibottleneck.
+  EXPECT_TRUE(std::isinf(MillibottleneckLength({500, 0.5},
+                                               MakeStage(32, 200, 300, 300))));
+  EXPECT_THROW(MillibottleneckLength({500, 0.5}, MakeStage(1, 0, 1, 0)),
+               std::invalid_argument);
+}
+
+TEST(QueuingModel, Eq6to9PersistentDamage) {
+  const std::vector<double> damages = {0.3, 0.25, 0.2};
+  EXPECT_DOUBLE_EQ(TotalDamage(damages), 0.75);           // Eq 6
+  EXPECT_DOUBLE_EQ(RemainingDamage(0.75, 0.3), 0.45);     // Eq 7
+  const auto intervals = RequiredIntervals(damages);       // Eq 9
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_DOUBLE_EQ(intervals[1], 0.25);
+  // Eq 8 steady state: t_min stays constant when I_i = t_damage_i.
+  double tmin = RemainingDamage(TotalDamage(damages), 0.3);
+  for (std::size_t i = 0; i < damages.size(); ++i) {
+    tmin = tmin + damages[i] - intervals[i];
+  }
+  EXPECT_DOUBLE_EQ(tmin, 0.45);
+}
+
+TEST(QueuingModel, InverseRelationsRoundTrip) {
+  const Stage s = MakeStage(32, 200, 300, 150);
+  const double target = 0.5;
+  const double volume = VolumeForMillibottleneck(target, s);
+  // Any B/L split with that volume reproduces the target P_MB.
+  EXPECT_NEAR(MillibottleneckLength({1000, volume / 1000}, s), target, 1e-12);
+  EXPECT_NEAR(MillibottleneckLength({250, volume / 250}, s), target, 1e-12);
+  const double len = BurstLengthForMillibottleneck(target, 500, s);
+  EXPECT_NEAR(MillibottleneckLength({500, len}, s), target, 1e-12);
+  EXPECT_THROW(BurstLengthForMillibottleneck(0.5, 0, s),
+               std::invalid_argument);
+  // Saturated stage: zero volume suffices.
+  EXPECT_DOUBLE_EQ(
+      VolumeForMillibottleneck(0.5, MakeStage(32, 200, 300, 300)), 0.0);
+}
+
+/// Property: damage and millibottleneck length are linear in L at fixed B
+/// (the relation the Kalman-filter controller relies on, Sec III summary).
+class LinearInLTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinearInLTest, DamageAndPmbScaleWithL) {
+  const Stage s = MakeStage(32, 200, 300, 100);
+  const double b = GetParam();
+  const Burst one{b, 0.2};
+  const Burst two{b, 0.4};
+  if (QueueFromExecutionBlocking(one, s) > 0) {
+    EXPECT_NEAR(QueueFromExecutionBlocking(two, s),
+                2 * QueueFromExecutionBlocking(one, s), 1e-9);
+  }
+  EXPECT_NEAR(MillibottleneckLength(two, s),
+              2 * MillibottleneckLength(one, s), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LinearInLTest,
+                         ::testing::Values(300.0, 500.0, 900.0, 2000.0));
+
+/// Property: queue build-up is monotone in both B and L.
+class MonotoneBurstTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MonotoneBurstTest, QueueMonotoneInRateAndLength) {
+  const Stage um = MakeStage(32, 1000, 1500, 200);
+  const Stage bn = MakeStage(40, 200, 300, 100);
+  const Stage stages[] = {um, bn};
+  const auto [b, l] = GetParam();
+  const double q0 = QueueFromCrossTierBlocking({b, l}, stages);
+  EXPECT_LE(q0, QueueFromCrossTierBlocking({b * 1.5, l}, stages));
+  EXPECT_LE(q0, QueueFromCrossTierBlocking({b, l * 1.5}, stages));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MonotoneBurstTest,
+    ::testing::Values(std::make_pair(300.0, 0.2), std::make_pair(600.0, 0.5),
+                      std::make_pair(1500.0, 0.1),
+                      std::make_pair(150.0, 2.0)));
+
+TEST(Ranking, ExecutionBlockingBeatsCrossTierThenVolume) {
+  std::vector<Candidate> cands = {
+      {2, BlockingKind::kCrossTier, 50.0},
+      {0, BlockingKind::kExecution, 90.0},
+      {1, BlockingKind::kCrossTier, 30.0},
+      {3, BlockingKind::kExecution, 40.0},
+      {4, BlockingKind::kCrossTier, 30.0},
+  };
+  const auto ranked = RankCandidates(std::move(cands));
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0].type, 3);  // execution, lower volume
+  EXPECT_EQ(ranked[1].type, 0);  // execution, higher volume
+  EXPECT_EQ(ranked[2].type, 1);  // cross-tier, volume 30, lower id
+  EXPECT_EQ(ranked[3].type, 4);  // cross-tier, volume 30, higher id
+  EXPECT_EQ(ranked[4].type, 2);
+}
+
+TEST(Ranking, KindFromDependenciesReadsPairEvidence) {
+  std::vector<trace::PairwiseDep> pairs(3);
+  pairs[0].a = 0;
+  pairs[0].b = 1;
+  pairs[0].type = trace::DepType::kSequentialAUp;
+  pairs[1].a = 2;
+  pairs[1].b = 1;
+  pairs[1].type = trace::DepType::kSequentialBUp;
+  pairs[2].a = 3;
+  pairs[2].b = 4;
+  pairs[2].type = trace::DepType::kMutual;
+  EXPECT_EQ(KindFromDependencies(0, pairs), BlockingKind::kExecution);
+  EXPECT_EQ(KindFromDependencies(1, pairs), BlockingKind::kExecution);
+  EXPECT_EQ(KindFromDependencies(2, pairs), BlockingKind::kCrossTier);
+  EXPECT_EQ(KindFromDependencies(3, pairs), BlockingKind::kExecution);
+  EXPECT_EQ(KindFromDependencies(5, pairs), BlockingKind::kCrossTier);
+}
+
+}  // namespace
+}  // namespace grunt::model

@@ -1,0 +1,183 @@
+// Validates the Section III queuing model AGAINST the simulator: the
+// equations' predictions (queue build-up, damage latency, millibottleneck
+// length, slot-pool fill time) must match what the discrete-event substrate
+// actually produces. This is the link that justifies using the model inside
+// the Commander's feedback loop.
+
+#include <gtest/gtest.h>
+
+#include "attack/burst.h"
+#include "attack/sim_target_client.h"
+#include "cloud/monitor.h"
+#include "fixtures.h"
+#include "microsvc/cluster.h"
+#include "model/queuing_model.h"
+
+namespace grunt::model {
+namespace {
+
+// Fixture app facts (see tests/fixtures.h, deterministic service times):
+// worker-a: 2 cores, 9 ms pre + 0.5 ms post demand, heavy x1.6.
+constexpr double kWorkerDemand = 0.0095;                      // seconds
+constexpr double kWorkerCapLegit = 2.0 / kWorkerDemand;       // ~210.5/s
+constexpr double kWorkerCapAttack = kWorkerCapLegit / 1.6;    // ~131.6/s
+
+Stage WorkerStage(double legit_rate) {
+  return Stage{64, kWorkerCapAttack, kWorkerCapLegit, legit_rate};
+}
+
+/// Result of firing one heavy burst on path 0 of the parallel fixture:
+/// the blackbox observation plus the TRUE millibottleneck length (longest
+/// >99% CPU run on the bottleneck, sampled every 10 ms).
+struct BurstOutcome {
+  attack::BurstObservation obs;
+  double true_pmb_ms = 0;
+};
+
+BurstOutcome FireBurst(double rate, std::int32_t count,
+                       double legit_rate = 0) {
+  const auto app = grunt::testing::TwoPathParallelApp();
+  sim::Simulation sim;
+  microsvc::Cluster cluster(sim, app, 3);
+  cloud::ResourceMonitor fine(cluster, {Ms(10), "fine"});
+  fine.Start();
+  if (legit_rate > 0) {
+    const auto gap = static_cast<SimDuration>(1e6 / legit_rate);
+    for (SimTime t = 0; t < Sec(20); t += gap) {
+      sim.At(t, [&cluster] {
+        cluster.Submit(0, microsvc::RequestClass::kLegit, false, 1);
+      });
+    }
+  }
+  attack::SimTargetClient client(cluster);
+  attack::BotFarm bots({});
+  BurstOutcome out;
+  sim.At(Sec(2), [&] {
+    attack::BurstSender::Send(client, bots, 0, /*heavy=*/true, rate, count,
+                              true,
+                              [&](attack::BurstObservation obs) {
+                                out.obs = std::move(obs);
+                              });
+  });
+  sim.RunUntil(Sec(20));
+  const auto worker = *app.FindService("worker-a");
+  out.true_pmb_ms =
+      ToMillis(fine.cpu_util(worker).LongestRunAbove(0.99, 0, Sec(20)));
+  return out;
+}
+
+/// Property: Eq (5)'s millibottleneck length matches the blackbox estimate
+/// within tolerance across burst shapes (idle background: P_MB = V / C_A).
+class PmbPredictionTest
+    : public ::testing::TestWithParam<std::pair<double, std::int32_t>> {};
+
+TEST_P(PmbPredictionTest, Eq5MatchesSimulatedSaturationRun) {
+  const auto [rate, count] = GetParam();
+  const Burst burst{rate, static_cast<double>(count) / rate};
+  const double predicted_ms =
+      MillibottleneckLength(burst, WorkerStage(0)) * 1000.0;
+  const BurstOutcome outcome = FireBurst(rate, count);
+  // Eq (5) predicts the TRUE saturation run on the bottleneck.
+  EXPECT_NEAR(outcome.true_pmb_ms, predicted_ms,
+              0.20 * predicted_ms + 25.0)
+      << "rate=" << rate << " count=" << count;
+  // The attacker's blackbox estimate is conservative: never much above the
+  // true length (paper Sec IV-B: "the real P_MB could be shorter than the
+  // estimation" — i.e. the estimate may undercount, not overcount).
+  EXPECT_LE(outcome.obs.EstimatePmbMs(), outcome.true_pmb_ms + 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BurstShapes, PmbPredictionTest,
+    ::testing::Values(std::make_pair(800.0, 30), std::make_pair(800.0, 60),
+                      std::make_pair(400.0, 40), std::make_pair(1600.0, 50),
+                      std::make_pair(1600.0, 100)));
+
+/// Property: Eq (1)+(4): the damage latency (time for the backlog to clear)
+/// predicts the response time of a probe arriving right at burst end.
+class DamagePredictionTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(DamagePredictionTest, Eq4MatchesProbeDelay) {
+  const std::int32_t count = GetParam();
+  const double rate = 1200.0;
+  const auto app = grunt::testing::TwoPathParallelApp();
+  sim::Simulation sim;
+  microsvc::Cluster cluster(sim, app, 4);
+  attack::SimTargetClient client(cluster);
+  attack::BotFarm bots({});
+  attack::BurstSender::Send(client, bots, 0, true, rate, count, true,
+                            nullptr);
+  // Probe of the same path at burst end: sees the whole backlog.
+  const auto burst_len =
+      static_cast<SimDuration>(1e6 * count / rate);
+  SimDuration probe_rt = 0;
+  sim.At(burst_len, [&] {
+    cluster.Submit(0, microsvc::RequestClass::kProbe, false, 9,
+                   [&](const microsvc::CompletionRecord& r) {
+                     probe_rt = r.end - r.start;
+                   });
+  });
+  sim.RunAll();
+
+  const Burst burst{rate, static_cast<double>(count) / rate};
+  const Stage s = WorkerStage(0);
+  const double q = QueueFromExecutionBlocking(burst, s);
+  // The probe is light (legit capacity) but drains behind heavy requests:
+  // t_damage = Q_B / C_A (Eq 4).
+  const double predicted_ms = DamageLatency(q, s) * 1000.0;
+  EXPECT_GT(probe_rt, 0);
+  EXPECT_NEAR(ToMillis(probe_rt), predicted_ms,
+              0.25 * predicted_ms + 25.0)
+      << "count=" << count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Volumes, DamagePredictionTest,
+                         ::testing::Values(40, 80, 160));
+
+TEST(ModelVsSim, Eq2FillTimePredictsSlotExhaustion) {
+  // Burst on path 0; the UM (12 slots) is exhausted once the worker backlog
+  // holds 12 slots. Fill rate at the worker = B - C_A (no background).
+  const auto app = grunt::testing::TwoPathParallelApp();
+  sim::Simulation sim;
+  microsvc::Cluster cluster(sim, app, 5);
+  attack::SimTargetClient client(cluster);
+  attack::BotFarm bots({});
+  const double rate = 1200.0;
+  attack::BurstSender::Send(client, bots, 0, true, rate, 80, true, nullptr);
+  const auto um = *app.FindService("um");
+  SimTime exhausted_at = -1;
+  sim.Every(Ms(1), [&] {
+    if (exhausted_at < 0 && cluster.service(um).slots_in_use() >= 12) {
+      exhausted_at = sim.Now();
+      sim.Stop();
+    }
+  });
+  sim.RunUntil(Sec(30));
+
+  Stage s = WorkerStage(0);
+  s.queue_size = 12;  // the upstream pool being filled
+  const double predicted_s = FillTime({rate, 80.0 / rate}, s);
+  ASSERT_GT(exhausted_at, 0);
+  EXPECT_NEAR(ToSeconds(exhausted_at), predicted_s,
+              0.5 * predicted_s + 0.01);
+}
+
+TEST(ModelVsSim, BackgroundLoadLengthensMillibottleneckPerEq5) {
+  // Eq (5): P_MB scales with 1/(1 - lambda/C_L). Compare the true
+  // saturation runs idle vs loaded.
+  const double idle = FireBurst(800, 40, /*legit_rate=*/0).true_pmb_ms;
+  const double loaded = FireBurst(800, 40, /*legit_rate=*/100).true_pmb_ms;
+  const double predicted_ratio = 1.0 / (1.0 - 100.0 / kWorkerCapLegit);
+  ASSERT_GT(idle, 0);
+  EXPECT_NEAR(loaded / idle, predicted_ratio, 0.40);
+}
+
+TEST(ModelVsSim, VolumeNotSplitDeterminesPmb) {
+  // Eq (5) says P_MB depends on V = B*L, not on the B/L split.
+  const double v1 = FireBurst(500, 50).true_pmb_ms;
+  const double v2 = FireBurst(2000, 50).true_pmb_ms;
+  EXPECT_NEAR(v1, v2, 0.25 * v1 + 15.0);
+}
+
+}  // namespace
+}  // namespace grunt::model

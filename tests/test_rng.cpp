@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace grunt {
+namespace {
+
+TEST(SplitMix64, KnownNonTrivialOutputs) {
+  // Self-consistency + avalanche sanity: adjacent inputs decorrelate.
+  EXPECT_NE(SplitMix64(0), 0u);
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  EXPECT_NE(SplitMix64(1) >> 32, SplitMix64(2) >> 32);
+}
+
+TEST(HashName, StableAcrossCalls) {
+  EXPECT_EQ(HashName(42, "alpha"), HashName(42, "alpha"));
+  EXPECT_NE(HashName(42, "alpha"), HashName(42, "beta"));
+  EXPECT_NE(HashName(42, "alpha"), HashName(43, "alpha"));
+}
+
+TEST(RngStream, SameSeedSameNameSameSequence) {
+  RngStream a(7, "stream");
+  RngStream b(7, "stream");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.NextDouble(), b.NextDouble());
+  }
+}
+
+TEST(RngStream, DifferentNamesIndependent) {
+  RngStream a(7, "one");
+  RngStream b(7, "two");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.NextInt(0, 1'000'000) == b.NextInt(0, 1'000'000));
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngStream, NextDoubleInUnitInterval) {
+  RngStream rng(1, "u");
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngStream, NextIntBoundsInclusive) {
+  RngStream rng(1, "int");
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = rng.NextInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+  EXPECT_THROW(rng.NextInt(5, 4), std::invalid_argument);
+}
+
+TEST(RngStream, ExponentialMeanCloseToRequested) {
+  RngStream rng(1, "exp");
+  double total = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) total += rng.NextExp(25.0);
+  EXPECT_NEAR(total / n, 25.0, 0.5);
+}
+
+TEST(RngStream, ExponentialThrowsOnBadMean) {
+  RngStream rng(1, "exp2");
+  EXPECT_THROW(rng.NextExp(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.NextExp(-1.0), std::invalid_argument);
+}
+
+TEST(RngStream, ExpDurationZeroMeanIsZero) {
+  RngStream rng(1, "expd");
+  EXPECT_EQ(rng.NextExpDuration(0), 0);
+  EXPECT_EQ(rng.NextExpDuration(-5), 0);
+}
+
+TEST(RngStream, NormalRespectsFloor) {
+  RngStream rng(1, "norm");
+  for (int i = 0; i < 5'000; ++i) {
+    ASSERT_GE(rng.NextNormal(1.0, 10.0, 0.5), 0.5);
+  }
+}
+
+TEST(RngStream, PoissonMean) {
+  RngStream rng(1, "poisson");
+  double total = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.NextPoisson(4.0));
+  EXPECT_NEAR(total / n, 4.0, 0.1);
+}
+
+TEST(RngStream, BoolProbability) {
+  RngStream rng(1, "bool");
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+  EXPECT_FALSE(RngStream(1, "b0").NextBool(0.0));
+  EXPECT_TRUE(RngStream(1, "b1").NextBool(1.0));
+}
+
+TEST(RngStream, WeightedRespectsWeights) {
+  RngStream rng(1, "weighted");
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngStream, WeightedThrowsWithoutPositiveWeight) {
+  RngStream rng(1, "weighted2");
+  EXPECT_THROW(rng.NextWeighted({0.0, -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grunt

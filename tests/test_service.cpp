@@ -1,0 +1,156 @@
+#include "microsvc/service.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace grunt::microsvc {
+namespace {
+
+TEST(Service, GrantsSlotsUpToThreadCount) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 2, 1), 0);
+  int granted = 0;
+  for (int i = 0; i < 3; ++i) {
+    svc.AcquireSlot([&] { ++granted; });
+  }
+  sim.RunAll();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(svc.slots_in_use(), 2);
+  EXPECT_EQ(svc.slots_waiting(), 1);
+  EXPECT_EQ(svc.queue_length(), 3);
+}
+
+TEST(Service, ReleaseWakesWaitersInFifoOrder) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 1, 1), 0);
+  std::vector<int> order;
+  svc.AcquireSlot([&] { order.push_back(0); });
+  svc.AcquireSlot([&] { order.push_back(1); });
+  svc.AcquireSlot([&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  svc.ReleaseSlot();
+  sim.RunAll();
+  svc.ReleaseSlot();
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Service, CpuRunsFcfsOnLimitedCores) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 8, 2), 0);
+  std::vector<std::pair<int, SimTime>> done;
+  for (int i = 0; i < 4; ++i) {
+    svc.RunCpu(Ms(10), [&, i] { done.emplace_back(i, sim.Now()); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(done.size(), 4u);
+  // Two cores: bursts 0,1 finish at 10ms; 2,3 at 20ms.
+  EXPECT_EQ(done[0].second, Ms(10));
+  EXPECT_EQ(done[1].second, Ms(10));
+  EXPECT_EQ(done[2].second, Ms(20));
+  EXPECT_EQ(done[3].second, Ms(20));
+  EXPECT_EQ(svc.completed_bursts(), 4);
+}
+
+TEST(Service, ZeroDemandBurstCompletesImmediately) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 8, 1), 0);
+  bool done = false;
+  svc.RunCpu(0, [&] { done = true; });
+  sim.RunAll();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(Service, BusyIntegralMatchesWork) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 8, 2), 0);
+  svc.RunCpu(Ms(10), [] {});
+  svc.RunCpu(Ms(5), [] {});
+  sim.RunAll();
+  // Total core-time = 15ms regardless of parallelism.
+  EXPECT_EQ(svc.CumBusyCoreTime(), Ms(15));
+}
+
+TEST(Service, BusyIntegralPartialAccrual) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 8, 1), 0);
+  svc.RunCpu(Ms(10), [] {});
+  sim.RunUntil(Ms(4));
+  EXPECT_EQ(svc.CumBusyCoreTime(), Ms(4));
+  EXPECT_EQ(svc.cpu_busy(), 1);
+  sim.RunAll();
+  EXPECT_EQ(svc.CumBusyCoreTime(), Ms(10));
+}
+
+TEST(Service, AddReplicaExpandsBothResources) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 2, 1), 0);
+  EXPECT_EQ(svc.threads(), 2);
+  EXPECT_EQ(svc.cores(), 1);
+  int granted = 0;
+  for (int i = 0; i < 4; ++i) svc.AcquireSlot([&] { ++granted; });
+  sim.RunAll();
+  EXPECT_EQ(granted, 2);
+  svc.AddReplica();
+  sim.RunAll();
+  EXPECT_EQ(svc.threads(), 4);
+  EXPECT_EQ(svc.cores(), 2);
+  EXPECT_EQ(granted, 4);  // waiting calls admitted by the new capacity
+}
+
+TEST(Service, AddReplicaStartsQueuedCpu) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 8, 1), 0);
+  std::vector<SimTime> done;
+  svc.RunCpu(Ms(10), [&] { done.push_back(sim.Now()); });
+  svc.RunCpu(Ms(10), [&] { done.push_back(sim.Now()); });
+  sim.At(Ms(1), [&] { svc.AddReplica(); });
+  sim.RunAll();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], Ms(10));
+  EXPECT_EQ(done[1], Ms(11));  // started at 1ms on the new core
+}
+
+TEST(Service, RemoveReplicaRefusesBelowOne) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 2, 1), 0);
+  EXPECT_FALSE(svc.RemoveReplica());
+  svc.AddReplica();
+  EXPECT_TRUE(svc.RemoveReplica());
+  EXPECT_EQ(svc.replicas(), 1);
+}
+
+TEST(Service, ShrinkDoesNotAbortInFlightWork) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 1, 1), 0);
+  svc.AddReplica();
+  int done = 0;
+  svc.RunCpu(Ms(10), [&] { ++done; });
+  svc.RunCpu(Ms(10), [&] { ++done; });
+  sim.At(Ms(1), [&] { svc.RemoveReplica(); });
+  sim.RunAll();
+  EXPECT_EQ(done, 2);  // both bursts complete despite the shrink
+}
+
+TEST(Service, ShrunkCpuDelaysNewBursts) {
+  sim::Simulation sim;
+  Service svc(sim, grunt::testing::Svc("s", 4, 1), 0);
+  svc.AddReplica();  // 2 cores
+  std::vector<SimTime> done;
+  svc.RunCpu(Ms(10), [&] { done.push_back(sim.Now()); });
+  svc.RunCpu(Ms(10), [&] { done.push_back(sim.Now()); });
+  sim.At(Ms(1), [&] {
+    svc.RemoveReplica();                      // back to 1 core
+    svc.RunCpu(Ms(5), [&] { done.push_back(sim.Now()); });
+  });
+  sim.RunAll();
+  ASSERT_EQ(done.size(), 3u);
+  // The third burst must wait until one of the in-flight bursts finishes.
+  EXPECT_EQ(done[2], Ms(15));
+}
+
+}  // namespace
+}  // namespace grunt::microsvc

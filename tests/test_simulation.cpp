@@ -1,0 +1,130 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace grunt::sim {
+namespace {
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(Ms(30), [&] { order.push_back(3); });
+  sim.At(Ms(10), [&] { order.push_back(1); });
+  sim.At(Ms(20), [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Ms(30));
+}
+
+TEST(Simulation, TiesBreakInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(Ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, RejectsPastScheduling) {
+  Simulation sim;
+  sim.At(Ms(10), [] {});
+  sim.RunAll();
+  EXPECT_THROW(sim.At(Ms(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, AfterClampsNegativeDelay) {
+  Simulation sim;
+  bool fired = false;
+  sim.At(Ms(10), [&] {
+    sim.After(-100, [&] { fired = true; });
+  });
+  sim.RunAll();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), Ms(10));
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle h = sim.At(Ms(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(Ms(10), [&] { ++fired; });
+  sim.At(Ms(20), [&] { ++fired; });
+  sim.At(Ms(21), [&] { ++fired; });
+  const auto n = sim.RunUntil(Ms(20));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), Ms(20));
+  sim.RunUntil(Ms(30));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), Ms(30));  // clock advances even after queue drains
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.After(Ms(1), recurse);
+  };
+  sim.After(Ms(1), recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), Ms(5));
+}
+
+TEST(Simulation, EveryRepeatsUntilCancelled) {
+  Simulation sim;
+  int count = 0;
+  EventHandle h = sim.Every(Ms(10), [&] { ++count; });
+  sim.RunUntil(Ms(55));
+  EXPECT_EQ(count, 5);
+  h.Cancel();
+  sim.RunUntil(Ms(200));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulation, EveryRejectsNonPositivePeriod) {
+  Simulation sim;
+  EXPECT_THROW(sim.Every(0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, StopInterruptsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(Ms(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.At(Ms(2), [&] { ++fired; });
+  sim.RunUntil(Ms(100));
+  EXPECT_EQ(fired, 1);
+  // A subsequent run resumes.
+  sim.RunUntil(Ms(100));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, PendingEventCountTracksQueue) {
+  Simulation sim;
+  sim.At(Ms(1), [] {});
+  sim.At(Ms(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.RunAll();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+}  // namespace
+}  // namespace grunt::sim

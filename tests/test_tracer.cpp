@@ -1,0 +1,129 @@
+#include "trace/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "microsvc/cluster.h"
+
+namespace grunt::trace {
+namespace {
+
+using grunt::testing::SingleChainApp;
+
+TEST(Tracer, AssemblesSpansIntoCompleteTraces) {
+  sim::Simulation sim;
+  const auto app = SingleChainApp();
+  microsvc::Cluster cluster(sim, app, 1);
+  Tracer tracer;
+  cluster.set_span_sink(&tracer);
+  std::uint64_t rid = cluster.Submit(0, microsvc::RequestClass::kLegit,
+                                     false, 1);
+  sim.RunAll();
+  EXPECT_EQ(tracer.span_count(), 3u);
+  const RequestTrace* t = tracer.Find(rid);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->complete());
+  ASSERT_EQ(t->hops.size(), 3u);
+  // Hops arrive in path order with sane timestamps.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(t->hops[i].hop_index, i);
+    EXPECT_LE(t->hops[i].arrived, t->hops[i].slot_granted);
+    EXPECT_LT(t->hops[i].slot_granted, t->hops[i].finished);
+  }
+  EXPECT_LT(t->hops[0].arrived, t->hops[1].arrived);
+  // Hop 0's span closes last (it replies to the client).
+  EXPECT_GT(t->hops[0].finished, t->hops[2].finished);
+  EXPECT_EQ(tracer.CompletedTraces().size(), 1u);
+}
+
+TEST(Tracer, ArrivalRateCountsWindowedSpans) {
+  sim::Simulation sim;
+  const auto app = SingleChainApp();
+  microsvc::Cluster cluster(sim, app, 1);
+  Tracer tracer;
+  cluster.set_span_sink(&tracer);
+  for (int i = 0; i < 10; ++i) {
+    sim.At(Sec(i), [&] {
+      cluster.Submit(0, microsvc::RequestClass::kLegit, false, 1);
+    });
+  }
+  sim.RunAll();
+  const auto s1 = *app.FindService("s1");
+  EXPECT_NEAR(tracer.ArrivalRate(s1, 0, Sec(10)), 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(tracer.ArrivalRate(s1, Sec(100), Sec(110)), 0.0);
+  EXPECT_DOUBLE_EQ(tracer.ArrivalRate(s1, Sec(10), Sec(10)), 0.0);
+  tracer.Clear();
+  EXPECT_EQ(tracer.CompletedTraces().size(), 0u);
+}
+
+TEST(CriticalPath, ChainIsItsOwnCriticalPath) {
+  ExecutionDag dag;
+  dag.nodes = {{0, Ms(1)}, {1, Ms(5)}, {2, Ms(2)}};
+  dag.edges = {{1}, {2}, {}};
+  EXPECT_EQ(CriticalPath(dag), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(CriticalPath, PicksLongestBranch) {
+  // Fig 2(b): A -> {B, D}; B -> C. Durations make A-B-C dominate.
+  ExecutionDag dag;
+  dag.nodes = {{0, Ms(2)}, {1, Ms(4)}, {2, Ms(5)}, {3, Ms(3)}};
+  dag.edges = {{1, 3}, {2}, {}, {}};
+  EXPECT_EQ(CriticalPath(dag), (std::vector<std::size_t>{0, 1, 2}));
+  // Make branch D dominate instead.
+  dag.nodes[3].duration = Ms(20);
+  EXPECT_EQ(CriticalPath(dag), (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(CriticalPath, TieBreaksDeterministically) {
+  ExecutionDag dag;
+  dag.nodes = {{0, Ms(1)}, {1, Ms(2)}, {2, Ms(2)}, {3, Ms(1)}};
+  dag.edges = {{1, 2}, {3}, {3}, {}};
+  // Both 0-1-3 and 0-2-3 have length 4; smaller predecessor index wins.
+  EXPECT_EQ(CriticalPath(dag), (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(CriticalPath, EmptyAndSingleNode) {
+  EXPECT_TRUE(CriticalPath({}).empty());
+  ExecutionDag one;
+  one.nodes = {{0, Ms(3)}};
+  one.edges = {{}};
+  EXPECT_EQ(CriticalPath(one), (std::vector<std::size_t>{0}));
+}
+
+TEST(CriticalPath, DetectsCycles) {
+  ExecutionDag dag;
+  dag.nodes = {{0, Ms(1)}, {1, Ms(1)}};
+  dag.edges = {{1}, {0}};
+  EXPECT_THROW(CriticalPath(dag), std::invalid_argument);
+}
+
+TEST(CriticalPath, RejectsDanglingEdges) {
+  ExecutionDag dag;
+  dag.nodes = {{0, Ms(1)}};
+  dag.edges = {{5}};
+  EXPECT_THROW(CriticalPath(dag), std::invalid_argument);
+}
+
+TEST(Tracer, QueueWaitVisibleInSpansUnderContention) {
+  sim::Simulation sim;
+  const auto app = SingleChainApp();
+  microsvc::Cluster cluster(sim, app, 1);
+  Tracer tracer;
+  cluster.set_span_sink(&tracer);
+  // 12 simultaneous requests vs s0's 8 slots: the last ones wait for slots.
+  std::vector<std::uint64_t> rids;
+  for (int i = 0; i < 12; ++i) {
+    rids.push_back(cluster.Submit(0, microsvc::RequestClass::kLegit, false, 1));
+  }
+  sim.RunAll();
+  SimDuration max_wait = 0;
+  for (auto rid : rids) {
+    const RequestTrace* t = tracer.Find(rid);
+    ASSERT_NE(t, nullptr);
+    max_wait = std::max(max_wait, t->hops[0].queue_wait());
+  }
+  EXPECT_GT(max_wait, 0);
+}
+
+}  // namespace
+}  // namespace grunt::trace

@@ -1,0 +1,178 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "microsvc/cluster.h"
+
+namespace grunt::workload {
+namespace {
+
+using grunt::testing::SingleChainApp;
+
+TEST(RequestMix, ValidationAndDraw) {
+  RequestMix mix = RequestMix::Uniform({0, 1, 2});
+  EXPECT_NO_THROW(mix.Validate());
+  RngStream rng(1, "mix");
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30'000; ++i) ++counts[static_cast<std::size_t>(mix.Draw(rng))];
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 600);
+
+  RequestMix bad;
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+  bad.types = {0};
+  bad.weights = {0.0};
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+}
+
+TEST(MarkovNavigator, ValidationRejectsRaggedAndAbsorbing) {
+  MarkovNavigator nav = MarkovNavigator::Uniform({0, 1});
+  EXPECT_NO_THROW(nav.Validate());
+  nav.transition[0] = {1.0};  // ragged
+  EXPECT_THROW(nav.Validate(), std::invalid_argument);
+  nav = MarkovNavigator::Uniform({0, 1});
+  nav.transition[1] = {0.0, 0.0};  // absorbing
+  EXPECT_THROW(nav.Validate(), std::invalid_argument);
+}
+
+TEST(MarkovNavigator, FollowsTransitionWeights) {
+  MarkovNavigator nav;
+  nav.types = {0, 1};
+  nav.transition = {{0.0, 1.0}, {1.0, 0.0}};  // strict alternation
+  RngStream rng(1, "nav");
+  std::size_t state = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t next = nav.DrawNext(state, rng);
+    EXPECT_NE(next, state);
+    state = next;
+  }
+}
+
+TEST(ClosedLoopWorkload, ThroughputMatchesLittlesLaw) {
+  sim::Simulation sim;
+  const auto app = SingleChainApp(microsvc::ServiceTimeDist::kExponential);
+  microsvc::Cluster cluster(sim, app, 2);
+  ClosedLoopWorkload::Config cfg;
+  cfg.users = 200;
+  cfg.think_mean = Sec(2);
+  cfg.navigator = MarkovNavigator::Uniform({0});
+  ClosedLoopWorkload load(cluster, cfg, 2);
+  load.Start();
+  sim.RunUntil(Sec(60));
+  // Expected rate ~= users / (think + RT) ~= 200 / 2.01s ~= 99.5/s.
+  const double rate =
+      static_cast<double>(cluster.completed_count()) / 60.0;
+  EXPECT_NEAR(rate, 99.5, 8.0);
+}
+
+TEST(ClosedLoopWorkload, SetUserCountGrowsAndParks) {
+  sim::Simulation sim;
+  const auto app = SingleChainApp(microsvc::ServiceTimeDist::kExponential);
+  microsvc::Cluster cluster(sim, app, 3);
+  ClosedLoopWorkload::Config cfg;
+  cfg.users = 50;
+  cfg.think_mean = Ms(500);
+  cfg.navigator = MarkovNavigator::Uniform({0});
+  ClosedLoopWorkload load(cluster, cfg, 3);
+  load.Start();
+  sim.RunUntil(Sec(20));
+  const auto at_50 = cluster.completed_count();
+  load.SetUserCount(200);
+  sim.RunUntil(Sec(40));
+  const auto at_200 = cluster.completed_count() - at_50;
+  load.SetUserCount(10);
+  sim.RunUntil(Sec(45));  // drain transition
+  const auto before = cluster.completed_count();
+  sim.RunUntil(Sec(65));
+  const auto at_10 = cluster.completed_count() - before;
+  // Rates should scale roughly with the population.
+  EXPECT_GT(at_200, at_50 * 3);
+  EXPECT_LT(at_10, at_50);
+  EXPECT_THROW(load.SetUserCount(-1), std::invalid_argument);
+}
+
+TEST(OpenLoopSource, RateIsRespected) {
+  sim::Simulation sim;
+  const auto app = SingleChainApp(microsvc::ServiceTimeDist::kExponential);
+  microsvc::Cluster cluster(sim, app, 4);
+  OpenLoopSource::Config cfg;
+  cfg.rate = 150;
+  cfg.mix = RequestMix::Uniform({0});
+  OpenLoopSource src(cluster, cfg, 4);
+  src.Start();
+  sim.RunUntil(Sec(40));
+  EXPECT_NEAR(static_cast<double>(src.requests_issued()) / 40.0, 150, 12);
+}
+
+TEST(OpenLoopSource, SetRateAndPauseResume) {
+  sim::Simulation sim;
+  const auto app = SingleChainApp(microsvc::ServiceTimeDist::kExponential);
+  microsvc::Cluster cluster(sim, app, 5);
+  OpenLoopSource::Config cfg;
+  cfg.rate = 100;
+  cfg.mix = RequestMix::Uniform({0});
+  OpenLoopSource src(cluster, cfg, 5);
+  src.Start();
+  sim.RunUntil(Sec(10));
+  const auto phase1 = src.requests_issued();
+  src.SetRate(0);  // pause
+  sim.RunUntil(Sec(20));
+  EXPECT_EQ(src.requests_issued(), phase1);
+  src.SetRate(400);  // resume at higher rate
+  sim.RunUntil(Sec(30));
+  const auto phase3 = src.requests_issued() - phase1;
+  EXPECT_NEAR(static_cast<double>(phase3) / 10.0, 400, 40);
+  src.Stop();
+  const auto stopped = src.requests_issued();
+  sim.RunUntil(Sec(40));
+  EXPECT_EQ(src.requests_issued(), stopped);
+  EXPECT_THROW(src.SetRate(-1), std::invalid_argument);
+}
+
+TEST(RateTrace, ApplySchedulesBreakpoints) {
+  sim::Simulation sim;
+  const auto app = SingleChainApp(microsvc::ServiceTimeDist::kExponential);
+  microsvc::Cluster cluster(sim, app, 6);
+  OpenLoopSource::Config cfg;
+  cfg.rate = 50;
+  cfg.mix = RequestMix::Uniform({0});
+  OpenLoopSource src(cluster, cfg, 6);
+  RateTrace trace;
+  trace.points = {{Sec(5), 300.0}, {Sec(10), 20.0}};
+  trace.Apply(sim, src);
+  src.Start();
+  sim.RunUntil(Sec(7));
+  EXPECT_DOUBLE_EQ(src.rate(), 300.0);
+  sim.RunUntil(Sec(12));
+  EXPECT_DOUBLE_EQ(src.rate(), 20.0);
+  EXPECT_DOUBLE_EQ(trace.RateAt(Sec(1)), 0.0);
+  EXPECT_DOUBLE_EQ(trace.RateAt(Sec(6)), 300.0);
+  EXPECT_DOUBLE_EQ(trace.RateAt(Sec(100)), 20.0);
+  EXPECT_DOUBLE_EQ(trace.MaxRate(), 300.0);
+  EXPECT_DOUBLE_EQ(trace.MinRate(), 20.0);
+}
+
+TEST(LargeVariationTrace, StaysWithinBoundsAndVaries) {
+  const RateTrace trace =
+      MakeLargeVariationTrace(0, Sec(300), Sec(5), 1000, 6000, 42);
+  ASSERT_EQ(trace.points.size(), 60u);
+  for (const auto& p : trace.points) {
+    EXPECT_GE(p.rate, 1000.0);
+    EXPECT_LE(p.rate, 6000.0);
+  }
+  // It should actually swing across a wide range.
+  EXPECT_GT(trace.MaxRate(), 4500.0);
+  EXPECT_LT(trace.MinRate(), 2000.0);
+  // Deterministic per seed.
+  const RateTrace again =
+      MakeLargeVariationTrace(0, Sec(300), Sec(5), 1000, 6000, 42);
+  EXPECT_EQ(trace.points.size(), again.points.size());
+  for (std::size_t i = 0; i < trace.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace.points[i].rate, again.points[i].rate);
+  }
+  EXPECT_THROW(MakeLargeVariationTrace(0, Sec(10), 0, 1, 2, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grunt::workload

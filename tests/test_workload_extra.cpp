@@ -1,0 +1,125 @@
+// Additional workload-generator properties: Markov stationarity, closed-loop
+// self-throttling under overload, and trace edge cases.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fixtures.h"
+#include "microsvc/cluster.h"
+#include "workload/workload.h"
+
+namespace grunt::workload {
+namespace {
+
+TEST(MarkovNavigator, PopularityRowsGiveStationaryMix) {
+  // When every row equals the popularity vector (the construction used by
+  // the app navigators), the long-run visit frequencies match the weights.
+  MarkovNavigator nav;
+  nav.types = {0, 1, 2};
+  nav.transition = {{6, 3, 1}, {6, 3, 1}, {6, 3, 1}};
+  RngStream rng(5, "stationary");
+  std::map<std::size_t, int> counts;
+  std::size_t state = 0;
+  const int n = 60'000;
+  for (int i = 0; i < n; ++i) {
+    state = nav.DrawNext(state, rng);
+    ++counts[state];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.6, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(ClosedLoopWorkload, SelfThrottlesUnderOverload) {
+  // Closed-loop users waiting on slow responses stop generating load: the
+  // offered rate drops as RT grows (why the paper's damage doesn't explode
+  // into an open-loop death spiral).
+  sim::Simulation sim;
+  const auto app =
+      grunt::testing::SingleChainApp(microsvc::ServiceTimeDist::kExponential);
+  microsvc::Cluster cluster(sim, app, 12);
+  ClosedLoopWorkload::Config cfg;
+  cfg.users = 400;
+  cfg.think_mean = Ms(500);
+  cfg.navigator = MarkovNavigator::Uniform({0});
+  ClosedLoopWorkload load(cluster, cfg, 12);
+  load.Start();
+  // Unthrottled demand would be 400/0.5s = 800/s; s1's capacity is ~333/s
+  // (2 cores / 6 ms). In-flight population can never exceed the user count.
+  sim.RunUntil(Sec(30));
+  EXPECT_LE(cluster.in_flight(), 400u);
+  const double rate = static_cast<double>(cluster.completed_count()) / 30.0;
+  EXPECT_LT(rate, 420.0);  // bounded by service capacity, not demand
+  EXPECT_GT(rate, 150.0);
+}
+
+TEST(ClosedLoopWorkload, GrowShrinkGrowReusesParkedUsers) {
+  sim::Simulation sim;
+  const auto app =
+      grunt::testing::SingleChainApp(microsvc::ServiceTimeDist::kExponential);
+  microsvc::Cluster cluster(sim, app, 13);
+  ClosedLoopWorkload::Config cfg;
+  cfg.users = 20;
+  cfg.think_mean = Ms(200);
+  cfg.navigator = MarkovNavigator::Uniform({0});
+  ClosedLoopWorkload load(cluster, cfg, 13);
+  load.Start();
+  sim.RunUntil(Sec(5));
+  load.SetUserCount(5);
+  sim.RunUntil(Sec(10));
+  load.SetUserCount(40);
+  sim.RunUntil(Sec(20));
+  EXPECT_EQ(load.user_count(), 40);
+  // The grown population generates roughly proportional load.
+  const auto before = cluster.completed_count();
+  sim.RunUntil(Sec(30));
+  const double rate = static_cast<double>(cluster.completed_count() - before) / 10.0;
+  EXPECT_NEAR(rate, 40.0 / 0.21, 60.0);
+}
+
+TEST(RateTrace, EmptyTraceIsInert) {
+  RateTrace trace;
+  EXPECT_DOUBLE_EQ(trace.RateAt(Sec(5)), 0.0);
+  EXPECT_DOUBLE_EQ(trace.MaxRate(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.MinRate(), 0.0);
+}
+
+TEST(LargeVariationTrace, DifferentSeedsDiffer) {
+  const auto a = MakeLargeVariationTrace(0, Sec(100), Sec(5), 100, 1000, 1);
+  const auto b = MakeLargeVariationTrace(0, Sec(100), Sec(5), 100, 1000, 2);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  bool differ = false;
+  for (std::size_t i = 0; i < a.points.size() && !differ; ++i) {
+    differ = a.points[i].rate != b.points[i].rate;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(OpenLoopSource, ClientIdsRotateThroughConfiguredPool) {
+  sim::Simulation sim;
+  const auto app =
+      grunt::testing::SingleChainApp(microsvc::ServiceTimeDist::kExponential);
+  microsvc::Cluster cluster(sim, app, 14);
+  OpenLoopSource::Config cfg;
+  cfg.rate = 200;
+  cfg.mix = RequestMix::Uniform({0});
+  cfg.client_id_base = 5'000;
+  cfg.client_id_count = 10;
+  std::map<std::uint64_t, int> seen;
+  cluster.AddSubmitListener([&](microsvc::RequestTypeId,
+                                microsvc::RequestClass, std::uint64_t c,
+                                SimTime) { ++seen[c]; });
+  OpenLoopSource src(cluster, cfg, 14);
+  src.Start();
+  sim.RunUntil(Sec(5));
+  EXPECT_EQ(seen.size(), 10u);
+  for (const auto& [id, count] : seen) {
+    EXPECT_GE(id, 5'000u);
+    EXPECT_LT(id, 5'010u);
+    EXPECT_GT(count, 20);  // ~100 each
+  }
+}
+
+}  // namespace
+}  // namespace grunt::workload
