@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kalman.dir/bench_ablation_kalman.cpp.o"
+  "CMakeFiles/bench_ablation_kalman.dir/bench_ablation_kalman.cpp.o.d"
+  "bench_ablation_kalman"
+  "bench_ablation_kalman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

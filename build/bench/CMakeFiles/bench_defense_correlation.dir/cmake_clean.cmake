@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defense_correlation.dir/bench_defense_correlation.cpp.o"
+  "CMakeFiles/bench_defense_correlation.dir/bench_defense_correlation.cpp.o.d"
+  "bench_defense_correlation"
+  "bench_defense_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defense_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

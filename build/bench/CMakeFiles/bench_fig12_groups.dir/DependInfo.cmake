@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_groups.cpp" "bench/CMakeFiles/bench_fig12_groups.dir/bench_fig12_groups.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_groups.dir/bench_fig12_groups.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/grunt_benchrig.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/grunt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/grunt_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/grunt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/grunt_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grunt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/grunt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/grunt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/microsvc/CMakeFiles/grunt_microsvc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/grunt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grunt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

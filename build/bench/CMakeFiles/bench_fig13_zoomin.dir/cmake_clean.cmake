@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_zoomin.dir/bench_fig13_zoomin.cpp.o"
+  "CMakeFiles/bench_fig13_zoomin.dir/bench_fig13_zoomin.cpp.o.d"
+  "bench_fig13_zoomin"
+  "bench_fig13_zoomin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_zoomin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cloudwatch.dir/bench_fig14_cloudwatch.cpp.o"
+  "CMakeFiles/bench_fig14_cloudwatch.dir/bench_fig14_cloudwatch.cpp.o.d"
+  "bench_fig14_cloudwatch"
+  "bench_fig14_cloudwatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cloudwatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

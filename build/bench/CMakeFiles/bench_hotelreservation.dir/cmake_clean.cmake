@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hotelreservation.dir/bench_hotelreservation.cpp.o"
+  "CMakeFiles/bench_hotelreservation.dir/bench_hotelreservation.cpp.o.d"
+  "bench_hotelreservation"
+  "bench_hotelreservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotelreservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_damage.dir/bench_table1_damage.cpp.o"
+  "CMakeFiles/bench_table1_damage.dir/bench_table1_damage.cpp.o.d"
+  "bench_table1_damage"
+  "bench_table1_damage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

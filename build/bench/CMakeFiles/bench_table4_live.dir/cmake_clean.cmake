@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_live.dir/bench_table4_live.cpp.o"
+  "CMakeFiles/bench_table4_live.dir/bench_table4_live.cpp.o.d"
+  "bench_table4_live"
+  "bench_table4_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

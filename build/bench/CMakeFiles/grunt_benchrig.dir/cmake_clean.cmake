@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_benchrig.dir/rig.cpp.o"
+  "CMakeFiles/grunt_benchrig.dir/rig.cpp.o.d"
+  "libgrunt_benchrig.a"
+  "libgrunt_benchrig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_benchrig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

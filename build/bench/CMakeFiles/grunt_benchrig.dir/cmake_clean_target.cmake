@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrunt_benchrig.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_monitoring.dir/defense_monitoring.cpp.o"
+  "CMakeFiles/defense_monitoring.dir/defense_monitoring.cpp.o.d"
+  "defense_monitoring"
+  "defense_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

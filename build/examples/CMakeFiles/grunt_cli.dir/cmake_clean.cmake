@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_cli.dir/grunt_cli.cpp.o"
+  "CMakeFiles/grunt_cli.dir/grunt_cli.cpp.o.d"
+  "grunt_cli"
+  "grunt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_apps.dir/hotelreservation.cpp.o"
+  "CMakeFiles/grunt_apps.dir/hotelreservation.cpp.o.d"
+  "CMakeFiles/grunt_apps.dir/mubench.cpp.o"
+  "CMakeFiles/grunt_apps.dir/mubench.cpp.o.d"
+  "CMakeFiles/grunt_apps.dir/socialnetwork.cpp.o"
+  "CMakeFiles/grunt_apps.dir/socialnetwork.cpp.o.d"
+  "libgrunt_apps.a"
+  "libgrunt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

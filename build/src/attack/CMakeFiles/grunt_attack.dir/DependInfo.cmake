@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/botfarm.cpp" "src/attack/CMakeFiles/grunt_attack.dir/botfarm.cpp.o" "gcc" "src/attack/CMakeFiles/grunt_attack.dir/botfarm.cpp.o.d"
+  "/root/repo/src/attack/burst.cpp" "src/attack/CMakeFiles/grunt_attack.dir/burst.cpp.o" "gcc" "src/attack/CMakeFiles/grunt_attack.dir/burst.cpp.o.d"
+  "/root/repo/src/attack/commander.cpp" "src/attack/CMakeFiles/grunt_attack.dir/commander.cpp.o" "gcc" "src/attack/CMakeFiles/grunt_attack.dir/commander.cpp.o.d"
+  "/root/repo/src/attack/grunt_attack.cpp" "src/attack/CMakeFiles/grunt_attack.dir/grunt_attack.cpp.o" "gcc" "src/attack/CMakeFiles/grunt_attack.dir/grunt_attack.cpp.o.d"
+  "/root/repo/src/attack/kalman.cpp" "src/attack/CMakeFiles/grunt_attack.dir/kalman.cpp.o" "gcc" "src/attack/CMakeFiles/grunt_attack.dir/kalman.cpp.o.d"
+  "/root/repo/src/attack/profiler.cpp" "src/attack/CMakeFiles/grunt_attack.dir/profiler.cpp.o" "gcc" "src/attack/CMakeFiles/grunt_attack.dir/profiler.cpp.o.d"
+  "/root/repo/src/attack/sim_target_client.cpp" "src/attack/CMakeFiles/grunt_attack.dir/sim_target_client.cpp.o" "gcc" "src/attack/CMakeFiles/grunt_attack.dir/sim_target_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/grunt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/grunt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/microsvc/CMakeFiles/grunt_microsvc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/grunt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grunt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_attack.dir/botfarm.cpp.o"
+  "CMakeFiles/grunt_attack.dir/botfarm.cpp.o.d"
+  "CMakeFiles/grunt_attack.dir/burst.cpp.o"
+  "CMakeFiles/grunt_attack.dir/burst.cpp.o.d"
+  "CMakeFiles/grunt_attack.dir/commander.cpp.o"
+  "CMakeFiles/grunt_attack.dir/commander.cpp.o.d"
+  "CMakeFiles/grunt_attack.dir/grunt_attack.cpp.o"
+  "CMakeFiles/grunt_attack.dir/grunt_attack.cpp.o.d"
+  "CMakeFiles/grunt_attack.dir/kalman.cpp.o"
+  "CMakeFiles/grunt_attack.dir/kalman.cpp.o.d"
+  "CMakeFiles/grunt_attack.dir/profiler.cpp.o"
+  "CMakeFiles/grunt_attack.dir/profiler.cpp.o.d"
+  "CMakeFiles/grunt_attack.dir/sim_target_client.cpp.o"
+  "CMakeFiles/grunt_attack.dir/sim_target_client.cpp.o.d"
+  "libgrunt_attack.a"
+  "libgrunt_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_baseline.dir/tail_attack.cpp.o"
+  "CMakeFiles/grunt_baseline.dir/tail_attack.cpp.o.d"
+  "libgrunt_baseline.a"
+  "libgrunt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

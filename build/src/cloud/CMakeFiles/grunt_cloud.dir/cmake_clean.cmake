@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_cloud.dir/autoscaler.cpp.o"
+  "CMakeFiles/grunt_cloud.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/grunt_cloud.dir/defense.cpp.o"
+  "CMakeFiles/grunt_cloud.dir/defense.cpp.o.d"
+  "CMakeFiles/grunt_cloud.dir/ids.cpp.o"
+  "CMakeFiles/grunt_cloud.dir/ids.cpp.o.d"
+  "CMakeFiles/grunt_cloud.dir/monitor.cpp.o"
+  "CMakeFiles/grunt_cloud.dir/monitor.cpp.o.d"
+  "libgrunt_cloud.a"
+  "libgrunt_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microsvc/application.cpp" "src/microsvc/CMakeFiles/grunt_microsvc.dir/application.cpp.o" "gcc" "src/microsvc/CMakeFiles/grunt_microsvc.dir/application.cpp.o.d"
+  "/root/repo/src/microsvc/cluster.cpp" "src/microsvc/CMakeFiles/grunt_microsvc.dir/cluster.cpp.o" "gcc" "src/microsvc/CMakeFiles/grunt_microsvc.dir/cluster.cpp.o.d"
+  "/root/repo/src/microsvc/service.cpp" "src/microsvc/CMakeFiles/grunt_microsvc.dir/service.cpp.o" "gcc" "src/microsvc/CMakeFiles/grunt_microsvc.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/grunt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grunt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

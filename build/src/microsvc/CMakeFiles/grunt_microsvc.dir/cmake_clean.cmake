@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_microsvc.dir/application.cpp.o"
+  "CMakeFiles/grunt_microsvc.dir/application.cpp.o.d"
+  "CMakeFiles/grunt_microsvc.dir/cluster.cpp.o"
+  "CMakeFiles/grunt_microsvc.dir/cluster.cpp.o.d"
+  "CMakeFiles/grunt_microsvc.dir/service.cpp.o"
+  "CMakeFiles/grunt_microsvc.dir/service.cpp.o.d"
+  "libgrunt_microsvc.a"
+  "libgrunt_microsvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_microsvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for grunt_microsvc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_model.dir/queuing_model.cpp.o"
+  "CMakeFiles/grunt_model.dir/queuing_model.cpp.o.d"
+  "libgrunt_model.a"
+  "libgrunt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

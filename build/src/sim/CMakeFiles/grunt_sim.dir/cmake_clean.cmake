@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_sim.dir/simulation.cpp.o"
+  "CMakeFiles/grunt_sim.dir/simulation.cpp.o.d"
+  "libgrunt_sim.a"
+  "libgrunt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_trace.dir/dependency.cpp.o"
+  "CMakeFiles/grunt_trace.dir/dependency.cpp.o.d"
+  "CMakeFiles/grunt_trace.dir/tracer.cpp.o"
+  "CMakeFiles/grunt_trace.dir/tracer.cpp.o.d"
+  "libgrunt_trace.a"
+  "libgrunt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

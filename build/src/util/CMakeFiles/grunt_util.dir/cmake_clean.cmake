@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_util.dir/logging.cpp.o"
+  "CMakeFiles/grunt_util.dir/logging.cpp.o.d"
+  "CMakeFiles/grunt_util.dir/rng.cpp.o"
+  "CMakeFiles/grunt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/grunt_util.dir/stats.cpp.o"
+  "CMakeFiles/grunt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/grunt_util.dir/table.cpp.o"
+  "CMakeFiles/grunt_util.dir/table.cpp.o.d"
+  "CMakeFiles/grunt_util.dir/timeseries.cpp.o"
+  "CMakeFiles/grunt_util.dir/timeseries.cpp.o.d"
+  "libgrunt_util.a"
+  "libgrunt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grunt_workload.dir/workload.cpp.o"
+  "CMakeFiles/grunt_workload.dir/workload.cpp.o.d"
+  "libgrunt_workload.a"
+  "libgrunt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grunt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

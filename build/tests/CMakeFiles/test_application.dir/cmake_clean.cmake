@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_application.dir/test_application.cpp.o"
+  "CMakeFiles/test_application.dir/test_application.cpp.o.d"
+  "test_application"
+  "test_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

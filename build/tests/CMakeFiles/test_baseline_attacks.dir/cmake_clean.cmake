@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_attacks.dir/test_baseline_attacks.cpp.o"
+  "CMakeFiles/test_baseline_attacks.dir/test_baseline_attacks.cpp.o.d"
+  "test_baseline_attacks"
+  "test_baseline_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocking_effects.dir/test_blocking_effects.cpp.o"
+  "CMakeFiles/test_blocking_effects.dir/test_blocking_effects.cpp.o.d"
+  "test_blocking_effects"
+  "test_blocking_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocking_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_botfarm.dir/test_botfarm.cpp.o"
+  "CMakeFiles/test_botfarm.dir/test_botfarm.cpp.o.d"
+  "test_botfarm"
+  "test_botfarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_botfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

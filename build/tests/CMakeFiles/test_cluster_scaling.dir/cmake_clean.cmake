@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_scaling.dir/test_cluster_scaling.cpp.o"
+  "CMakeFiles/test_cluster_scaling.dir/test_cluster_scaling.cpp.o.d"
+  "test_cluster_scaling"
+  "test_cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commander.dir/test_commander.cpp.o"
+  "CMakeFiles/test_commander.dir/test_commander.cpp.o.d"
+  "test_commander"
+  "test_commander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependency_extra.dir/test_dependency_extra.cpp.o"
+  "CMakeFiles/test_dependency_extra.dir/test_dependency_extra.cpp.o.d"
+  "test_dependency_extra"
+  "test_dependency_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependency_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grunt_attack.dir/test_grunt_attack.cpp.o"
+  "CMakeFiles/test_grunt_attack.dir/test_grunt_attack.cpp.o.d"
+  "test_grunt_attack"
+  "test_grunt_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grunt_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

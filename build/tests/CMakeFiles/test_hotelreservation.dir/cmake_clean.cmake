@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hotelreservation.dir/test_hotelreservation.cpp.o"
+  "CMakeFiles/test_hotelreservation.dir/test_hotelreservation.cpp.o.d"
+  "test_hotelreservation"
+  "test_hotelreservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hotelreservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_target_client.dir/test_sim_target_client.cpp.o"
+  "CMakeFiles/test_sim_target_client.dir/test_sim_target_client.cpp.o.d"
+  "test_sim_target_client"
+  "test_sim_target_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_target_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

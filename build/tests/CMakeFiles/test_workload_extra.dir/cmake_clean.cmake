@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_extra.dir/test_workload_extra.cpp.o"
+  "CMakeFiles/test_workload_extra.dir/test_workload_extra.cpp.o.d"
+  "test_workload_extra"
+  "test_workload_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
