@@ -38,8 +38,16 @@ microsvc::Application MakeHotelReservation(
     spec.cores_per_replica = cores;
     spec.initial_replicas = replicas;
     spec.max_replicas = replicas * 8;
+    if (threads < 1024) {  // backends only; the gateway never sheds
+      spec.max_queue_per_replica = opts.resilience.max_queue_per_replica;
+      spec.breaker_threshold = opts.resilience.breaker_threshold;
+      spec.breaker_cooldown = opts.resilience.breaker_cooldown;
+    }
     return b.AddService(spec);
   };
+  if (opts.resilience.default_rpc) {
+    b.SetDefaultRpcPolicy(*opts.resilience.default_rpc);
+  }
 
   const ServiceId frontend = svc("frontend", 4096, 16, 1);
 

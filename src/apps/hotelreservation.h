@@ -1,5 +1,6 @@
 #pragma once
 
+#include "apps/resilience.h"
 #include "microsvc/application.h"
 #include "workload/workload.h"
 
@@ -11,6 +12,8 @@ struct HotelReservationOptions {
   std::int32_t replica_scale = 1;
   double capacity_scale = 1.0;
   microsvc::ServiceTimeDist dist = microsvc::ServiceTimeDist::kExponential;
+  /// Fault-tolerance deployment; defaults off (paper configuration).
+  ResilienceOptions resilience;
 };
 
 /// A second DeathStarBench-style target (extension beyond the paper's

@@ -46,9 +46,17 @@ microsvc::Application MakeMuBench(const MuBenchOptions& opts) {
     spec.cores_per_replica = cores;
     spec.initial_replicas = 1;
     spec.max_replicas = 8;
+    if (threads < 1024) {  // backends only; the gateway never sheds
+      spec.max_queue_per_replica = opts.resilience.max_queue_per_replica;
+      spec.breaker_threshold = opts.resilience.breaker_threshold;
+      spec.breaker_cooldown = opts.resilience.breaker_cooldown;
+    }
     --remaining;
     return b.AddService(spec);
   };
+  if (opts.resilience.default_rpc) {
+    b.SetDefaultRpcPolicy(*opts.resilience.default_rpc);
+  }
 
   const ServiceId gateway = svc("gateway", 4096, 16);
 

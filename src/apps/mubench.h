@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "apps/resilience.h"
 #include "microsvc/application.h"
 #include "workload/workload.h"
 
@@ -24,6 +25,8 @@ struct MuBenchOptions {
   std::int32_t singleton_paths = 2;  ///< independent paths (own group each)
   std::uint64_t seed = 1;
   microsvc::ServiceTimeDist dist = microsvc::ServiceTimeDist::kExponential;
+  /// Fault-tolerance deployment; defaults off (paper configuration).
+  ResilienceOptions resilience;
 };
 
 /// Generates a deterministic random application with the requested shape.

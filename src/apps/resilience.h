@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+#include "microsvc/types.h"
+
+namespace grunt::apps {
+
+/// Fault-tolerance deployment knobs shared by every app factory. The
+/// defaults reproduce the paper's configuration exactly — no timeouts, no
+/// retries, unbounded queues, no breakers — so every existing figure is
+/// unchanged unless a bench opts in.
+struct ResilienceOptions {
+  /// Applied to every RPC edge when set (per-hop Hop::rpc overrides win).
+  std::optional<microsvc::RpcPolicy> default_rpc;
+  /// Bounds every backend service's arrival queue at
+  /// `max_queue_per_replica * replicas` waiters (load shedding). The
+  /// gateway keeps its unbounded queue (it is never the exploited one).
+  /// 0 = unbounded everywhere.
+  std::int32_t max_queue_per_replica = 0;
+  /// Per-caller circuit breaker on every backend service: this many
+  /// consecutive failures from one caller open it for `breaker_cooldown`.
+  /// 0 = disabled.
+  std::int32_t breaker_threshold = 0;
+  SimDuration breaker_cooldown = Ms(500);
+
+  bool any() const {
+    return default_rpc.has_value() || max_queue_per_replica > 0 ||
+           breaker_threshold > 0;
+  }
+};
+
+}  // namespace grunt::apps

@@ -46,8 +46,16 @@ microsvc::Application MakeSocialNetwork(const SocialNetworkOptions& opts) {
     spec.cores_per_replica = cores;
     spec.initial_replicas = replicas;
     spec.max_replicas = replicas * 8;
+    if (threads < 1024) {  // backends only; the gateway never sheds
+      spec.max_queue_per_replica = opts.resilience.max_queue_per_replica;
+      spec.breaker_threshold = opts.resilience.breaker_threshold;
+      spec.breaker_cooldown = opts.resilience.breaker_cooldown;
+    }
     return b.AddService(spec);
   };
+  if (opts.resilience.default_rpc) {
+    b.SetDefaultRpcPolicy(*opts.resilience.default_rpc);
+  }
 
   // --- gateway (well provisioned: overflow never reaches its slot pool) ---
   const ServiceId nginx = svc("nginx", 4096, 16, 1);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "apps/resilience.h"
 #include "microsvc/application.h"
 #include "workload/workload.h"
 
@@ -17,6 +18,9 @@ struct SocialNetworkOptions {
   /// Multiplies every backend service's thread-pool (queue) size; the
   /// Sec VI "Impact of microservice's queue size" knob. 1.0 = reference.
   double queue_scale = 1.0;
+  /// Fault-tolerance deployment (timeouts/retries/shedding/breakers);
+  /// defaults off so the paper's figures reproduce unchanged.
+  ResilienceOptions resilience;
 };
 
 /// Builds a SocialNetwork-style microservice application modeled on the

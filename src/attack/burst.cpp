@@ -17,6 +17,18 @@ double BurstObservation::EstimatePmbMs() const {
   return ToMillis(last_end - first_end);
 }
 
+std::size_t BurstObservation::OkCount() const {
+  std::size_t n = 0;
+  for (const auto& r : responses) n += r.ok;
+  return n;
+}
+
+double BurstObservation::OkFraction() const {
+  if (responses.empty()) return 1.0;
+  return static_cast<double>(OkCount()) /
+         static_cast<double>(responses.size());
+}
+
 double BurstObservation::MeanRtMs() const {
   if (responses.empty()) return 0.0;
   double total = 0;
@@ -79,11 +91,12 @@ void SendSpaced(TargetClient& target, BotFarm& bots, std::int32_t url_id,
       const SimTime now = target.Now();
       const std::uint64_t bot = bots.Acquire(now);
       target.Send(url_id, heavy, bot, attack_traffic,
-                  [pending, i](SimTime sent, SimTime completed) {
+                  [pending, i](SimTime sent, SimTime completed, bool ok) {
                     auto& slot =
                         pending->obs.responses[static_cast<std::size_t>(i)];
                     slot.sent = sent;
                     slot.completed = completed;
+                    slot.ok = ok;
                     if (--pending->outstanding == 0 && pending->done) {
                       pending->done(std::move(pending->obs));
                     }

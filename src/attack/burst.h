@@ -25,10 +25,20 @@ struct BurstObservation {
   struct Response {
     SimTime sent = 0;
     SimTime completed = 0;
+    bool ok = true;  ///< false: the target answered with an error
   };
   std::vector<Response> responses;  ///< in send order
 
   double volume() const { return rate * length_s; }
+
+  /// Responses that came back without an error. RT statistics below still
+  /// include error responses — an error arriving after the target's timeout
+  /// is a genuine (bounded) damage observation — but calibration logic uses
+  /// OkFraction() to notice when a fault-tolerant target is clipping the
+  /// signal.
+  std::size_t OkCount() const;
+  /// OkCount() / responses.size(); 1.0 for an empty observation.
+  double OkFraction() const;
 
   /// Blackbox P_MB estimate in milliseconds (Fig 8); 0 with <2 responses.
   double EstimatePmbMs() const;

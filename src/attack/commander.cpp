@@ -46,7 +46,14 @@ double GroupCommander::BaselineOf(std::int32_t url) const {
       profile_.baseline_rt_ms[idx] > 0) {
     return profile_.baseline_rt_ms[idx];
   }
-  return 100.0;  // conservative default when no baseline was measured
+  if (!warned_fallback_baseline_) {
+    warned_fallback_baseline_ = true;
+    LogWarn() << "commander: no measured baseline for url " << url
+              << "; assuming " << cfg_.fallback_baseline_ms
+              << " ms (cfg.fallback_baseline_ms) — settle/trigger "
+              << "thresholds will be off if the real baseline differs";
+  }
+  return cfg_.fallback_baseline_ms;
 }
 
 void GroupCommander::SettleQuiet(std::int32_t url,
@@ -116,8 +123,13 @@ void GroupCommander::FindMinRate(std::size_t idx, double rate,
         const double threshold =
             std::max(cfg_.trigger_factor * path.plan.baseline_ms,
                      path.plan.baseline_ms + cfg_.trigger_floor_ms);
+        // Saturation shows either as inflated RT or, against a target with
+        // timeouts/shedding deployed, as an error spike at bounded RT.
+        const bool triggered =
+            obs.MeanRtMs() > threshold ||
+            1.0 - obs.OkFraction() > cfg_.trigger_error_fraction;
         SettleQuiet(path.plan.url,
-                    [this, idx, rate, triggered = obs.MeanRtMs() > threshold,
+                    [this, idx, rate, triggered,
                      done = std::move(done)]() mutable {
           if (triggered) {
             paths_[idx].plan.rate = rate;
@@ -354,7 +366,8 @@ void GroupCommander::OnBurstDone(std::size_t path_idx,
   if (!trial) {
     const SimTime now = target_.Now();
     stats_.bursts.push_back({obs.burst_start, p.plan.url, p.plan.rate,
-                             p.plan.count, pmb_raw, tmin_raw});
+                             p.plan.count, pmb_raw, tmin_raw,
+                             obs.OkFraction()});
     stats_.pmb_est_ms.Add(now, pmb_est);
     stats_.burst_volume.Add(now, static_cast<double>(p.plan.count));
   }

@@ -31,6 +31,14 @@ struct CommanderConfig {
   /// + trigger_floor_ms) indicates resource saturation (Sec IV-D step 1).
   double trigger_factor = 2.5;
   double trigger_floor_ms = 40.0;
+  /// Baseline RT assumed for a path the profiler produced no measurement
+  /// for (e.g. every baseline probe failed against a fault-tolerant
+  /// target). A warning is logged the first time it is used.
+  double fallback_baseline_ms = 100.0;
+  /// A rate-sweep burst also counts as "triggered" when the target starts
+  /// failing requests: a fault-tolerant deployment sheds or times out
+  /// instead of letting RT grow, so errors ARE the saturation signal.
+  double trigger_error_fraction = 0.10;
   /// Margin under the stealth cap targeted during L calibration.
   double pmb_target_fraction = 0.9;
   std::int32_t max_paths = 6;    ///< cap on m
@@ -79,6 +87,7 @@ struct BurstRecord {
   std::int32_t count = 0;
   double pmb_ms = 0;      ///< Monitor estimate for this burst
   double mean_rt_ms = 0;  ///< Monitor damage estimate for this burst
+  double ok_fraction = 1.0;  ///< responses that were not errors
 };
 
 /// Per-path attack parameters discovered during initialisation.
@@ -180,6 +189,7 @@ class GroupCommander {
   GroupStats stats_;
   bool initialized_ = false;
   bool attacking_ = false;
+  mutable bool warned_fallback_baseline_ = false;
   SimTime attack_until_ = 0;
   std::function<void()> attack_done_;
   std::vector<double> trial_rts_;  ///< burst mean RTs of the current trial

@@ -56,7 +56,7 @@ void SimTargetClient::Send(std::int32_t url_id, bool heavy,
   cluster_.Submit(
       url_id, cls, heavy, bot_id,
       [cb = std::move(on_response)](const microsvc::CompletionRecord& rec) {
-        if (cb) cb(rec.start, rec.end);
+        if (cb) cb(rec.start, rec.end, rec.outcome == microsvc::Outcome::kOk);
       });
 }
 

@@ -28,9 +28,12 @@ class TargetClient {
  public:
   virtual ~TargetClient() = default;
 
-  /// Outcome of one request as the sender observes it.
+  /// Outcome of one request as the sender observes it. `ok` is false when
+  /// the target answered with an error (gateway timeout, 503 shed, …) —
+  /// still a timed observation: the attacker sees WHEN the error arrived,
+  /// never why.
   using ResponseCallback =
-      std::function<void(SimTime sent_at, SimTime completed_at)>;
+      std::function<void(SimTime sent_at, SimTime completed_at, bool ok)>;
 
   /// Crawls the target's public URLs (paper: PhantomJS-driven crawling).
   virtual std::vector<PublicUrl> CrawlUrls() = 0;

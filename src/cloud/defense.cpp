@@ -20,6 +20,12 @@ CorrelationDefense::CorrelationDefense(microsvc::Cluster& cluster,
         ++bucket_counts_[{type, at / cfg_.bucket}];
         sessions_[client].requests.emplace_back(type, at);
       });
+  cluster_.AddCompletionListener([this](const microsvc::CompletionRecord& r) {
+    if (!running_) return;
+    if (r.cls != microsvc::RequestClass::kLegit) return;
+    if (r.outcome == microsvc::Outcome::kOk) return;
+    legit_errors_.push_back(r.end);  // completion order => sorted
+  });
 }
 
 void CorrelationDefense::Start() { running_ = true; }
@@ -73,6 +79,12 @@ CorrelationDefense::VolleyStats CorrelationDefense::Volleys(
     const SimTime at = key.second * cfg_.bucket;
     if (count < cfg_.volley_threshold || at < from || at >= to) continue;
     ++stats.volleys;
+    const auto lo = std::lower_bound(legit_errors_.begin(),
+                                     legit_errors_.end(), at);
+    const auto hi = std::lower_bound(legit_errors_.begin(),
+                                     legit_errors_.end(),
+                                     at + cfg_.confirm_window);
+    if (hi - lo >= cfg_.error_confirm_min) ++stats.error_confirmed;
     if (fine_ == nullptr) {
       ++stats.confirmed;
       continue;

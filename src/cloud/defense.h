@@ -45,6 +45,12 @@ class CorrelationDefense {
     /// window after it (requires a fine monitor).
     SimDuration confirm_window = Ms(600);
     double saturation_util = 0.97;
+    /// Error-based confirmation (no fine monitor needed): a volley is also
+    /// confirmed when at least this many legitimate requests fail (timeout /
+    /// rejection / deadline) within confirm_window after it. Once the
+    /// cluster deploys RPC timeouts and load shedding, a Grunt burst leaves
+    /// this cheap fingerprint in the gateway's own error log.
+    std::int32_t error_confirm_min = 3;
   };
 
   /// `fine_monitor` may be null: volley confirmation is then skipped and
@@ -71,11 +77,14 @@ class CorrelationDefense {
   /// Flagged sessions only (participation > flag_fraction).
   std::vector<Verdict> FlaggedSessions(SimTime from, SimTime to) const;
 
-  /// Volleys in [from, to): total, and how many were confirmed by a
-  /// subsequent millibottleneck (== total when no fine monitor is wired).
+  /// Volleys in [from, to): total, how many were confirmed by a subsequent
+  /// millibottleneck (== total when no fine monitor is wired), and how many
+  /// by a subsequent legit-error spike (0 unless fault-tolerance policies
+  /// are deployed — with none, requests queue instead of failing).
   struct VolleyStats {
     std::size_t volleys = 0;
     std::size_t confirmed = 0;
+    std::size_t error_confirmed = 0;
   };
   VolleyStats Volleys(SimTime from, SimTime to) const;
 
@@ -95,6 +104,7 @@ class CorrelationDefense {
   };
   std::map<BucketKey, std::int32_t> bucket_counts_;
   std::map<std::uint64_t, SubmissionLog> sessions_;
+  std::vector<SimTime> legit_errors_;  ///< completion times of failed legits
 };
 
 }  // namespace grunt::cloud

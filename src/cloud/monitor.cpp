@@ -76,6 +76,10 @@ ResponseTimeMonitor::ResponseTimeMonitor(microsvc::Cluster& cluster,
   cluster_.AddCompletionListener([this](const microsvc::CompletionRecord& r) {
     if (!running_) return;
     if (r.cls != microsvc::RequestClass::kLegit) return;
+    if (r.outcome != microsvc::Outcome::kOk) {
+      ++window_errors_;
+      return;
+    }
     const double rt_ms = ToMillis(r.end - r.start);
     window_.Add(rt_ms);
     legit_all_.emplace_back(r.end, rt_ms);
@@ -97,9 +101,16 @@ void ResponseTimeMonitor::Flush() {
   const SimTime now = cluster_.simulation().Now();
   legit_mean_ms_.Add(now, window_.mean());
   legit_p95_ms_.Add(now, window_.Percentile(95));
-  legit_throughput_.Add(now, static_cast<double>(window_.count()) /
-                                 ToSeconds(cfg_.granularity));
+  const double total =
+      static_cast<double>(window_.count() + window_errors_);
+  legit_throughput_.Add(now, total / ToSeconds(cfg_.granularity));
+  goodput_.Add(now, static_cast<double>(window_.count()) /
+                        ToSeconds(cfg_.granularity));
+  error_rate_.Add(now, total <= 0
+                           ? 0.0
+                           : static_cast<double>(window_errors_) / total);
   window_.Clear();
+  window_errors_ = 0;
 }
 
 Samples ResponseTimeMonitor::LegitWindow(SimTime from, SimTime to) const {

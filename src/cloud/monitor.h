@@ -67,6 +67,11 @@ class ResourceMonitor {
 /// p95 / count series per granularity tick. Separates legitimate traffic
 /// from attack/probe traffic so benches can report "RT perceived by normal
 /// users" exactly as the paper does.
+///
+/// Only successful (Outcome::kOk) completions enter the RT windows — a
+/// timed-out request's "latency" is just its timeout, and mixing it in
+/// would make aggressive timeouts look like a latency win. Failures are
+/// accounted separately via error_rate() and goodput().
 class ResponseTimeMonitor {
  public:
   struct Config {
@@ -83,10 +88,16 @@ class ResponseTimeMonitor {
   const TimeSeries& legit_mean_ms() const { return legit_mean_ms_; }
   /// p95 RT (ms) of legitimate requests per window.
   const TimeSeries& legit_p95_ms() const { return legit_p95_ms_; }
-  /// Legitimate completions per second per window.
+  /// Legitimate completions per second per window (any outcome).
   const TimeSeries& legit_throughput() const { return legit_throughput_; }
+  /// Successful legitimate completions per second per window.
+  const TimeSeries& goodput() const { return goodput_; }
+  /// Fraction of legitimate completions per window that failed (timeout,
+  /// rejection, deadline, crash); 0 when the window is empty.
+  const TimeSeries& error_rate() const { return error_rate_; }
 
-  /// All legitimate RTs (ms) observed in [from, to) by completion time.
+  /// All legitimate (successful) RTs (ms) observed in [from, to) by
+  /// completion time.
   Samples LegitWindow(SimTime from, SimTime to) const;
 
  private:
@@ -96,11 +107,14 @@ class ResponseTimeMonitor {
   Config cfg_;
   sim::EventHandle timer_;
   bool running_ = false;
-  Samples window_;  ///< legit RTs in the current window
-  std::vector<std::pair<SimTime, double>> legit_all_;  ///< (end, rt_ms)
+  Samples window_;  ///< successful legit RTs in the current window
+  std::uint64_t window_errors_ = 0;  ///< failed legit completions in window
+  std::vector<std::pair<SimTime, double>> legit_all_;  ///< (end, rt_ms), kOk
   TimeSeries legit_mean_ms_;
   TimeSeries legit_p95_ms_;
   TimeSeries legit_throughput_;
+  TimeSeries goodput_;
+  TimeSeries error_rate_;
 };
 
 }  // namespace grunt::cloud

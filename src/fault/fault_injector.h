@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "microsvc/cluster.h"
+#include "microsvc/types.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace grunt::fault {
+
+/// What a scheduled fault did when it fired.
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,       ///< one replica crashed (magnitude = replicas left)
+  kRestart = 1,     ///< a crashed replica came back
+  kSlowStart = 2,   ///< CPU demand multiplied by `magnitude`
+  kSlowEnd = 3,     ///< demand factor restored
+  kNetSpikeStart = 4,  ///< extra per-message latency of `magnitude` us added
+  kNetSpikeEnd = 5,    ///< extra latency removed
+};
+
+const char* ToString(FaultKind k);
+
+/// One entry of the injector's ground-truth fault log.
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  microsvc::ServiceId service = microsvc::kInvalidService;  ///< net faults: invalid
+  double magnitude = 0.0;
+  bool applied = true;  ///< false e.g. for a crash at 0 remaining replicas
+};
+
+/// Schedules infrastructure faults against a running Cluster.
+///
+/// Three fault families, mirroring the chaos toolkits the fault-tolerance
+/// layer is meant to survive:
+///  * **crash/restart** — Service::Crash() removes a replica and kills its
+///    share of in-flight CPU bursts (requests observe Outcome::kFailed);
+///    an optional downtime schedules the matching Restart().
+///  * **slow replica** — multiplies every subsequent CPU demand of a service
+///    for a window (gray failure: the service answers, just slowly — the
+///    classic trigger for timeout/retry storms).
+///  * **network spike** — adds flat extra latency to every message for a
+///    window (Cluster::AddExtraNetLatency).
+///
+/// All scheduling is deterministic; random crash sequences draw from a
+/// named RngStream so runs are reproducible and independent of other
+/// randomness in the simulation.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, microsvc::Cluster& cluster,
+                std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Crashes one replica of `svc` at `at`; when `downtime` > 0 the replica
+  /// restarts at `at + downtime`. A crash that finds 0 replicas is logged
+  /// with applied=false (and schedules no restart).
+  void ScheduleCrash(microsvc::ServiceId svc, SimTime at,
+                     SimDuration downtime = 0);
+
+  /// Multiplies `svc`'s CPU demand by `factor` (> 0) during
+  /// [at, at + duration); duration 0 leaves the slowdown in place forever.
+  void ScheduleSlow(microsvc::ServiceId svc, SimTime at, double factor,
+                    SimDuration duration = 0);
+
+  /// Adds `extra` per-message network latency during [at, at + duration);
+  /// duration 0 leaves the spike in place forever. Spikes stack.
+  void ScheduleNetSpike(SimTime at, SimDuration extra, SimDuration duration = 0);
+
+  /// Poisson process of crashes over [start, end): exponential inter-arrival
+  /// with `mean_interval`, each crash hits a uniformly random service and
+  /// restarts after `downtime`. Deterministic given the injector's seed.
+  void ScheduleRandomCrashes(SimTime start, SimTime end,
+                             SimDuration mean_interval, SimDuration downtime);
+
+  /// Ground-truth log of every fault fired, in firing order.
+  const std::vector<FaultEvent>& log() const { return log_; }
+
+ private:
+  void FireCrash(microsvc::ServiceId svc, SimDuration downtime);
+
+  sim::Simulation& sim_;
+  microsvc::Cluster& cluster_;
+  RngStream rng_;
+  std::vector<FaultEvent> log_;
+};
+
+}  // namespace grunt::fault

@@ -15,6 +15,37 @@ const char* ToString(RequestClass c) {
   return "?";
 }
 
+const char* ToString(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kTimeout: return "timeout";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kDeadlineExceeded: return "deadline";
+    case Outcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+void ValidatePolicy(const RpcPolicy& p, const std::string& where) {
+  if (p.timeout < 0) throw std::invalid_argument("negative timeout: " + where);
+  if (p.max_retries < 0) {
+    throw std::invalid_argument("negative max_retries: " + where);
+  }
+  if (p.backoff_base < 0) {
+    throw std::invalid_argument("negative backoff_base: " + where);
+  }
+  if (p.backoff_multiplier < 1.0) {
+    throw std::invalid_argument("backoff_multiplier < 1: " + where);
+  }
+  if (p.jitter < 0.0 || p.jitter >= 1.0) {
+    throw std::invalid_argument("jitter outside [0,1): " + where);
+  }
+}
+
+}  // namespace
+
 ServiceId Application::Builder::AddService(ServiceSpec spec) {
   app_.services_.push_back(std::move(spec));
   return static_cast<ServiceId>(app_.services_.size() - 1);
@@ -42,6 +73,12 @@ Application::Builder& Application::Builder::SetServiceTimeDist(
   return *this;
 }
 
+Application::Builder& Application::Builder::SetDefaultRpcPolicy(
+    RpcPolicy policy) {
+  app_.default_rpc_ = policy;
+  return *this;
+}
+
 Application Application::Builder::Build() && {
   std::unordered_set<std::string> svc_names;
   for (const auto& s : app_.services_) {
@@ -53,7 +90,12 @@ Application Application::Builder::Build() && {
         s.initial_replicas <= 0 || s.max_replicas < s.initial_replicas) {
       throw std::invalid_argument("invalid service sizing: " + s.name);
     }
+    if (s.max_queue_per_replica < 0 || s.breaker_threshold < 0 ||
+        s.breaker_cooldown < 0) {
+      throw std::invalid_argument("invalid admission config: " + s.name);
+    }
   }
+  ValidatePolicy(app_.default_rpc_, "default_rpc");
   std::unordered_set<std::string> type_names;
   for (const auto& t : app_.types_) {
     if (t.name.empty()) throw std::invalid_argument("type with empty name");
@@ -75,6 +117,10 @@ Application Application::Builder::Build() && {
       if (!seen.insert(h.service).second) {
         throw std::invalid_argument("path visits a service twice: " + t.name);
       }
+      if (h.rpc) ValidatePolicy(*h.rpc, t.name);
+    }
+    if (t.deadline < 0) {
+      throw std::invalid_argument("negative deadline in type: " + t.name);
     }
     if (t.heavy_multiplier < 1.0) {
       throw std::invalid_argument("heavy_multiplier < 1 in type: " + t.name);
@@ -89,6 +135,12 @@ const ServiceSpec& Application::service(ServiceId id) const {
 
 const RequestTypeSpec& Application::request_type(RequestTypeId id) const {
   return types_.at(static_cast<std::size_t>(id));
+}
+
+const RpcPolicy& Application::rpc_policy(RequestTypeId t,
+                                         std::size_t hop) const {
+  const auto& h = request_type(t).hops.at(hop);
+  return h.rpc ? *h.rpc : default_rpc_;
 }
 
 std::optional<ServiceId> Application::FindService(std::string_view name) const {

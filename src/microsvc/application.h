@@ -21,6 +21,12 @@ class Application {
   const std::string& name() const { return name_; }
   SimDuration net_latency() const { return net_latency_; }
   ServiceTimeDist service_time_dist() const { return dist_; }
+  /// Application-wide RPC policy for hops that don't set their own.
+  /// Defaults to "no timeout, no retry".
+  const RpcPolicy& default_rpc() const { return default_rpc_; }
+  /// Policy governing calls into hop `hop` of type `t` (the hop's own policy
+  /// or the application default).
+  const RpcPolicy& rpc_policy(RequestTypeId t, std::size_t hop) const;
 
   std::size_t service_count() const { return services_.size(); }
   std::size_t request_type_count() const { return types_.size(); }
@@ -56,6 +62,7 @@ class Application {
   std::string name_ = "app";
   SimDuration net_latency_ = 500;  // 0.5 ms per RPC message
   ServiceTimeDist dist_ = ServiceTimeDist::kExponential;
+  RpcPolicy default_rpc_;
   std::vector<ServiceSpec> services_;
   std::vector<RequestTypeSpec> types_;
 };
@@ -70,6 +77,9 @@ class Application::Builder {
   Builder& SetName(std::string name);
   Builder& SetNetLatency(SimDuration lat);
   Builder& SetServiceTimeDist(ServiceTimeDist dist);
+  /// Sets the application-wide default RPC policy (per-hop policies on the
+  /// request types override it).
+  Builder& SetDefaultRpcPolicy(RpcPolicy policy);
 
   /// Validates and returns the application. Throws std::invalid_argument on
   /// dangling service references, empty paths, or duplicate names.

@@ -1,5 +1,7 @@
 #include "microsvc/cluster.h"
 
+#include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -13,8 +15,12 @@ struct Cluster::ActiveRequest {
   bool heavy = false;
   std::uint64_t client_id = 0;
   SimTime start = 0;
+  SimTime deadline = 0;  ///< absolute; 0 = none
+  std::int32_t retries = 0;
+  bool terminal = false;  ///< guards the exactly-one-outcome invariant
   CompletionCallback on_complete;
-  /// Per-hop trace timestamps (filled as the request advances).
+  /// Per-hop trace timestamps (filled as the request advances; a retried
+  /// hop records its last attempt).
   struct HopTrace {
     SimTime arrived = 0;
     SimTime slot_granted = 0;
@@ -23,9 +29,34 @@ struct Cluster::ActiveRequest {
   std::vector<HopTrace> traces;
 };
 
+/// Caller-side state of one RPC attempt into `hop`. The timeout timer, the
+/// reply and the rejection message all race to ResolveCall; the first wins,
+/// later arrivals (e.g. an orphan attempt's late reply) are discarded.
+struct Cluster::CallState {
+  std::shared_ptr<ActiveRequest> req;
+  std::size_t hop = 0;
+  std::int32_t attempt = 0;
+  ServiceId caller = kInvalidService;
+  bool resolved = false;
+  bool sent = false;  ///< actually issued (false: breaker/deadline fast-fail)
+  bool deadline_limited = false;  ///< timeout truncated by the deadline
+  sim::EventHandle timeout;
+  std::function<void(Outcome)> on_result;
+};
+
+/// Callee-side state of one attempt's hop execution. `resolve` sends the
+/// reply (or error) upstream — it pays the reply's network latency and then
+/// races against the caller's timeout inside ResolveCall.
+struct Cluster::HopCtx {
+  std::shared_ptr<ActiveRequest> req;
+  std::size_t hop = 0;
+  std::function<void(Outcome)> resolve;
+};
+
 Cluster::Cluster(sim::Simulation& sim, const Application& app,
                  std::uint64_t seed)
-    : sim_(sim), app_(app), demand_rng_(seed, "cluster.demand." + app.name()) {
+    : sim_(sim), app_(app), demand_rng_(seed, "cluster.demand." + app.name()),
+      retry_rng_(seed, "cluster.retry." + app.name()) {
   services_.reserve(app.service_count());
   for (std::size_t i = 0; i < app.service_count(); ++i) {
     services_.push_back(std::make_unique<Service>(
@@ -47,6 +78,17 @@ SimDuration Cluster::DrawDemand(SimDuration mean, double multiplier) {
   return scaled;
 }
 
+SimDuration Cluster::BackoffDelay(const RpcPolicy& policy,
+                                  std::int32_t attempt) {
+  double delay = static_cast<double>(policy.backoff_base) *
+                 std::pow(policy.backoff_multiplier,
+                          static_cast<double>(attempt));
+  if (policy.jitter > 0.0) {
+    delay *= 1.0 + policy.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
+  }
+  return std::max<SimDuration>(0, static_cast<SimDuration>(std::llround(delay)));
+}
+
 std::uint64_t Cluster::Submit(RequestTypeId type, RequestClass cls, bool heavy,
                               std::uint64_t client_id,
                               CompletionCallback on_complete) {
@@ -58,6 +100,7 @@ std::uint64_t Cluster::Submit(RequestTypeId type, RequestClass cls, bool heavy,
   req->heavy = heavy;
   req->client_id = client_id;
   req->start = sim_.Now();
+  req->deadline = spec.deadline > 0 ? sim_.Now() + spec.deadline : 0;
   req->on_complete = std::move(on_complete);
   req->traces.resize(spec.hops.size());
 
@@ -70,92 +113,192 @@ std::uint64_t Cluster::Submit(RequestTypeId type, RequestClass cls, bool heavy,
     // Served by the gateway/CDN without touching the backend: constant small
     // latency, no backend load. (Sec VI "Limitations": static requests
     // escape the attack entirely.)
-    const std::uint64_t rid = req->id;
-    sim_.After(app_.net_latency() * 2, [this, req, rid] {
-      (void)rid;
-      Complete(req);
-    });
+    sim_.After(NetLatency() * 2,
+               [this, req] { CompleteWith(req, Outcome::kOk); });
     return req->id;
   }
 
   const std::uint64_t rid = req->id;
-  sim_.After(app_.net_latency(), [this, req] { ArriveAt(req, 0); });
+  IssueCall(req, 0, kInvalidService, 0,
+            [this, req](Outcome o) { CompleteWith(req, o); });
   return rid;
 }
 
-void Cluster::ArriveAt(std::shared_ptr<ActiveRequest> req, std::size_t hop) {
-  req->traces[hop].arrived = sim_.Now();
-  Service& svc = service(app_.request_type(req->type).hops[hop].service);
-  svc.AcquireSlot([this, req, hop] { OnSlotGranted(req, hop); });
+void Cluster::IssueCall(std::shared_ptr<ActiveRequest> req, std::size_t hop,
+                        ServiceId caller, std::int32_t attempt,
+                        std::function<void(Outcome)> on_result) {
+  auto call = std::make_shared<CallState>();
+  call->req = req;
+  call->hop = hop;
+  call->attempt = attempt;
+  call->caller = caller;
+  call->on_result = std::move(on_result);
+
+  // End-to-end deadline gate: no budget left, fail without sending.
+  if (req->deadline > 0 && sim_.Now() >= req->deadline) {
+    sim_.After(0, [this, call] {
+      ResolveCall(call, Outcome::kDeadlineExceeded);
+    });
+    return;
+  }
+
+  const Hop& h = app_.request_type(req->type).hops[hop];
+  Service& callee = service(h.service);
+
+  // Circuit breaker fast-fail: no network round trip, no load on the callee.
+  if (!callee.BreakerAllows(caller)) {
+    sim_.After(0, [this, call] { ResolveCall(call, Outcome::kRejected); });
+    return;
+  }
+
+  call->sent = true;
+  // Per-attempt timeout, truncated to the remaining deadline budget
+  // (deadline propagation: downstream hops inherit the shrinking budget).
+  const RpcPolicy& policy = app_.rpc_policy(req->type, hop);
+  SimDuration timeout = policy.timeout;
+  if (req->deadline > 0) {
+    const SimDuration remaining = req->deadline - sim_.Now();
+    if (timeout == 0 || remaining < timeout) {
+      timeout = remaining;
+      call->deadline_limited = true;
+    }
+  }
+  if (timeout > 0) {
+    call->timeout = sim_.After(timeout, [this, call] {
+      ResolveCall(call, call->deadline_limited ? Outcome::kDeadlineExceeded
+                                               : Outcome::kTimeout);
+    });
+  }
+
+  auto ctx = std::make_shared<HopCtx>();
+  ctx->req = req;
+  ctx->hop = hop;
+  ctx->resolve = [this, call](Outcome o) {
+    // The reply (or error/rejection response) travels back over the network.
+    sim_.After(NetLatency(), [this, call, o] { ResolveCall(call, o); });
+  };
+  sim_.After(NetLatency(), [this, ctx] { CallArrives(ctx); });
 }
 
-void Cluster::OnSlotGranted(std::shared_ptr<ActiveRequest> req,
-                            std::size_t hop) {
-  req->traces[hop].slot_granted = sim_.Now();
-  const auto& spec = app_.request_type(req->type);
-  const Hop& h = spec.hops[hop];
-  const double mult = req->heavy ? spec.heavy_multiplier : 1.0;
-  const bool last = (hop + 1 == spec.hops.size());
+void Cluster::ResolveCall(const std::shared_ptr<CallState>& call, Outcome o) {
+  if (call->resolved) return;  // late reply of a timed-out (orphan) attempt
+  call->resolved = true;
+  call->timeout.Cancel();
+  const Hop& h = app_.request_type(call->req->type).hops[call->hop];
+  if (call->sent) {
+    service(h.service).ReportCallerOutcome(call->caller, o == Outcome::kOk);
+  }
+  if (o == Outcome::kOk) {
+    call->on_result(Outcome::kOk);
+    return;
+  }
+  // Retry decision. A spent deadline can never be retried into.
+  const RpcPolicy& policy = app_.rpc_policy(call->req->type, call->hop);
+  if (o != Outcome::kDeadlineExceeded && call->attempt < policy.max_retries) {
+    ++call->req->retries;
+    const SimDuration delay = BackoffDelay(policy, call->attempt);
+    sim_.After(delay, [this, req = call->req, hop = call->hop,
+                       caller = call->caller, next = call->attempt + 1,
+                       on_result = std::move(call->on_result)]() mutable {
+      IssueCall(req, hop, caller, next, std::move(on_result));
+    });
+    return;
+  }
+  call->on_result(o);
+}
+
+void Cluster::CallArrives(std::shared_ptr<HopCtx> ctx) {
+  ctx->req->traces[ctx->hop].arrived = sim_.Now();
+  Service& svc = service(app_.request_type(ctx->req->type).hops[ctx->hop].service);
+  if (!svc.AcquireSlot([this, ctx] { OnSlotGranted(ctx); })) {
+    // Load shed: bounded arrival queue is full; the rejection response
+    // travels back to the caller immediately.
+    ctx->resolve(Outcome::kRejected);
+  }
+}
+
+void Cluster::OnSlotGranted(std::shared_ptr<HopCtx> ctx) {
+  ctx->req->traces[ctx->hop].slot_granted = sim_.Now();
+  const auto& spec = app_.request_type(ctx->req->type);
+  const Hop& h = spec.hops[ctx->hop];
+  const double mult = ctx->req->heavy ? spec.heavy_multiplier : 1.0;
+  const bool last = (ctx->hop + 1 == spec.hops.size());
   // The last hop has no downstream call: fold pre+post into one burst.
   const SimDuration demand =
       last ? DrawDemand(h.cpu_demand + h.post_demand, mult)
            : DrawDemand(h.cpu_demand, mult);
-  service(h.service).RunCpu(demand,
-                            [this, req, hop] { AfterPreCpu(req, hop); });
+  service(h.service).RunCpu(
+      demand, [this, ctx] { AfterPreCpu(ctx); },
+      [this, ctx] { AbortHop(ctx, Outcome::kFailed); });
 }
 
-void Cluster::AfterPreCpu(std::shared_ptr<ActiveRequest> req,
-                          std::size_t hop) {
-  const auto& spec = app_.request_type(req->type);
-  if (hop + 1 < spec.hops.size()) {
+void Cluster::AfterPreCpu(std::shared_ptr<HopCtx> ctx) {
+  const auto& spec = app_.request_type(ctx->req->type);
+  if (ctx->hop + 1 < spec.hops.size()) {
     // Synchronous downstream call; this hop's slot stays held.
-    sim_.After(app_.net_latency(),
-               [this, req, hop] { ArriveAt(req, hop + 1); });
+    IssueCall(ctx->req, ctx->hop + 1, spec.hops[ctx->hop].service, 0,
+              [this, ctx](Outcome o) {
+                if (o != Outcome::kOk) {
+                  // Downstream gave up: skip the post-reply burst, release
+                  // the slot and propagate the error upstream.
+                  AbortHop(ctx, o);
+                  return;
+                }
+                const auto& s = app_.request_type(ctx->req->type);
+                const Hop& h = s.hops[ctx->hop];
+                const double mult =
+                    ctx->req->heavy ? s.heavy_multiplier : 1.0;
+                service(h.service).RunCpu(
+                    DrawDemand(h.post_demand, mult),
+                    [this, ctx] { FinishHop(ctx); },
+                    [this, ctx] { AbortHop(ctx, Outcome::kFailed); });
+              });
   } else {
-    FinishHop(req, hop);
+    FinishHop(ctx);
   }
 }
 
-void Cluster::OnReplyArrived(std::shared_ptr<ActiveRequest> req,
-                             std::size_t hop) {
-  const auto& spec = app_.request_type(req->type);
-  const Hop& h = spec.hops[hop];
-  const double mult = req->heavy ? spec.heavy_multiplier : 1.0;
-  service(h.service).RunCpu(DrawDemand(h.post_demand, mult),
-                            [this, req, hop] { FinishHop(req, hop); });
+void Cluster::EmitSpan(const HopCtx& ctx) {
+  if (span_sink_ == nullptr) return;
+  const auto& spec = app_.request_type(ctx.req->type);
+  SpanEvent span;
+  span.request_id = ctx.req->id;
+  span.type = ctx.req->type;
+  span.cls = ctx.req->cls;
+  span.service = spec.hops[ctx.hop].service;
+  span.hop_index = static_cast<std::uint32_t>(ctx.hop);
+  span.arrived = ctx.req->traces[ctx.hop].arrived;
+  span.slot_granted = ctx.req->traces[ctx.hop].slot_granted;
+  span.finished = ctx.req->traces[ctx.hop].finished;
+  span_sink_->OnSpan(span);
 }
 
-void Cluster::FinishHop(std::shared_ptr<ActiveRequest> req, std::size_t hop) {
-  req->traces[hop].finished = sim_.Now();
-  const auto& spec = app_.request_type(req->type);
-  const Hop& h = spec.hops[hop];
-  service(h.service).ReleaseSlot();
-
-  if (span_sink_ != nullptr) {
-    SpanEvent span;
-    span.request_id = req->id;
-    span.type = req->type;
-    span.cls = req->cls;
-    span.service = h.service;
-    span.hop_index = static_cast<std::uint32_t>(hop);
-    span.arrived = req->traces[hop].arrived;
-    span.slot_granted = req->traces[hop].slot_granted;
-    span.finished = req->traces[hop].finished;
-    span_sink_->OnSpan(span);
-  }
-
-  if (hop == 0) {
-    sim_.After(app_.net_latency(), [this, req] { Complete(req); });
-  } else {
-    sim_.After(app_.net_latency(),
-               [this, req, hop] { OnReplyArrived(req, hop - 1); });
-  }
+void Cluster::FinishHop(std::shared_ptr<HopCtx> ctx) {
+  ctx->req->traces[ctx->hop].finished = sim_.Now();
+  const auto& spec = app_.request_type(ctx->req->type);
+  service(spec.hops[ctx->hop].service).ReleaseSlot();
+  EmitSpan(*ctx);
+  ctx->resolve(Outcome::kOk);
 }
 
-void Cluster::Complete(std::shared_ptr<ActiveRequest> req) {
+void Cluster::AbortHop(std::shared_ptr<HopCtx> ctx, Outcome o) {
+  ctx->req->traces[ctx->hop].finished = sim_.Now();
+  const auto& spec = app_.request_type(ctx->req->type);
+  service(spec.hops[ctx->hop].service).ReleaseSlot();
+  EmitSpan(*ctx);
+  ctx->resolve(o);
+}
+
+void Cluster::CompleteWith(std::shared_ptr<ActiveRequest> req, Outcome o) {
+  // Exactly-one-terminal-outcome invariant: timeout, rejection and crash
+  // paths all funnel here, and none may fire twice for one request.
+  assert(!req->terminal && "request completed twice");
+  if (req->terminal) return;
+  req->terminal = true;
   const auto& spec = app_.request_type(req->type);
-  gateway_bytes_ += spec.response_bytes;
+  if (o == Outcome::kOk) gateway_bytes_ += spec.response_bytes;
   ++completed_count_;
+  ++outcome_counts_[static_cast<std::size_t>(o)];
   CompletionRecord rec;
   rec.request_id = req->id;
   rec.type = req->type;
@@ -164,6 +307,8 @@ void Cluster::Complete(std::shared_ptr<ActiveRequest> req) {
   rec.client_id = req->client_id;
   rec.start = req->start;
   rec.end = sim_.Now();
+  rec.outcome = o;
+  rec.retries = req->retries;
   completions_.push_back(rec);
   for (const auto& listener : completion_listeners_) listener(rec);
   if (req->on_complete) req->on_complete(rec);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -14,7 +15,8 @@
 
 namespace grunt::microsvc {
 
-/// A finished end-to-end request as observed at the gateway.
+/// A finished end-to-end request as observed at the gateway. Every submitted
+/// request produces exactly one record, whatever its outcome.
 struct CompletionRecord {
   std::uint64_t request_id = 0;
   RequestTypeId type = kInvalidRequestType;
@@ -22,7 +24,10 @@ struct CompletionRecord {
   bool heavy = false;
   std::uint64_t client_id = 0;
   SimTime start = 0;  ///< submitted by the client
-  SimTime end = 0;    ///< response received by the client
+  SimTime end = 0;    ///< response (or failure) received by the client
+  Outcome outcome = Outcome::kOk;
+  /// Total retry attempts spent across every hop of the chain.
+  std::int32_t retries = 0;
 };
 
 /// Instantiates an Application into a running simulation and drives the
@@ -39,6 +44,16 @@ struct CompletionRecord {
 ///     logged.
 /// Both of the paper's blocking effects (execution blocking, cross-tier
 /// queue overflow) are emergent consequences of steps 2–3.
+///
+/// Fault tolerance (per-hop RpcPolicy, all dormant by default): each RPC
+/// edge can carry a client timeout and bounded retries with exponential
+/// backoff + jitter; a timed-out attempt keeps executing downstream as
+/// orphan work (its late reply is discarded), while the retry re-injects a
+/// fresh arrival — the mechanism behind retry storms. An end-to-end
+/// deadline on the request type truncates every downstream attempt's
+/// budget. Failures (timeout, load-shed rejection, replica-crash kill)
+/// propagate upstream as error replies: each upstream hop skips its
+/// post-reply burst, releases its slot, and may itself retry.
 class Cluster {
  public:
   using CompletionCallback = std::function<void(const CompletionRecord&)>;
@@ -63,7 +78,8 @@ class Cluster {
   }
   std::size_t service_count() const { return services_.size(); }
 
-  /// Cumulative request+response bytes seen at the gateway.
+  /// Cumulative request+response bytes seen at the gateway. Failed requests
+  /// count only their request bytes (the error reply is negligible).
   std::int64_t gateway_bytes() const { return gateway_bytes_; }
 
   /// Every completed request, in completion order.
@@ -75,8 +91,20 @@ class Cluster {
   void ClearCompletions() { completions_.clear(); }
 
   std::uint64_t submitted_count() const { return next_request_id_; }
+  /// Requests that reached a terminal outcome (any Outcome value).
   std::uint64_t completed_count() const { return completed_count_; }
+  /// Client-view in-flight count. Orphan work from timed-out attempts may
+  /// still be draining inside the cluster after this reaches zero.
   std::uint64_t in_flight() const { return next_request_id_ - completed_count_; }
+  /// Terminal outcomes by kind; sums to completed_count().
+  std::uint64_t outcome_count(Outcome o) const {
+    return outcome_counts_[static_cast<std::size_t>(o)];
+  }
+  std::uint64_t ok_count() const { return outcome_count(Outcome::kOk); }
+
+  /// Extra per-message network latency (fault injection: network spikes).
+  void AddExtraNetLatency(SimDuration delta) { extra_net_latency_ += delta; }
+  SimDuration extra_net_latency() const { return extra_net_latency_; }
 
   /// Optional tracing hook (admin-side ground truth; not visible to attacks).
   void set_span_sink(SpanSink* sink) { span_sink_ = sink; }
@@ -97,23 +125,39 @@ class Cluster {
 
  private:
   struct ActiveRequest;
+  struct CallState;
+  struct HopCtx;
 
-  void ArriveAt(std::shared_ptr<ActiveRequest> req, std::size_t hop);
-  void OnSlotGranted(std::shared_ptr<ActiveRequest> req, std::size_t hop);
-  void AfterPreCpu(std::shared_ptr<ActiveRequest> req, std::size_t hop);
-  void OnReplyArrived(std::shared_ptr<ActiveRequest> req, std::size_t hop);
-  void FinishHop(std::shared_ptr<ActiveRequest> req, std::size_t hop);
-  void Complete(std::shared_ptr<ActiveRequest> req);
+  /// Issues attempt `attempt` of the RPC edge into `hop`; `on_result` fires
+  /// exactly once with the edge's final outcome (after retries).
+  void IssueCall(std::shared_ptr<ActiveRequest> req, std::size_t hop,
+                 ServiceId caller, std::int32_t attempt,
+                 std::function<void(Outcome)> on_result);
+  void ResolveCall(const std::shared_ptr<CallState>& call, Outcome o);
+  void CallArrives(std::shared_ptr<HopCtx> ctx);
+  void OnSlotGranted(std::shared_ptr<HopCtx> ctx);
+  void AfterPreCpu(std::shared_ptr<HopCtx> ctx);
+  void FinishHop(std::shared_ptr<HopCtx> ctx);
+  void AbortHop(std::shared_ptr<HopCtx> ctx, Outcome o);
+  void EmitSpan(const HopCtx& ctx);
+  void CompleteWith(std::shared_ptr<ActiveRequest> req, Outcome o);
+  SimDuration BackoffDelay(const RpcPolicy& policy, std::int32_t attempt);
   SimDuration DrawDemand(SimDuration mean, double multiplier);
+  SimDuration NetLatency() const {
+    return app_.net_latency() + extra_net_latency_;
+  }
 
   sim::Simulation& sim_;
   const Application& app_;
   RngStream demand_rng_;
+  RngStream retry_rng_;
   std::vector<std::unique_ptr<Service>> services_;
   std::vector<CompletionRecord> completions_;
   std::int64_t gateway_bytes_ = 0;
   std::uint64_t next_request_id_ = 0;
   std::uint64_t completed_count_ = 0;
+  std::array<std::uint64_t, kOutcomeCount> outcome_counts_{};
+  SimDuration extra_net_latency_ = 0;
   SpanSink* span_sink_ = nullptr;
   std::vector<SubmitListener> submit_listeners_;
   std::vector<CompletionCallback> completion_listeners_;

@@ -1,5 +1,7 @@
 #include "microsvc/service.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace grunt::microsvc {
@@ -8,14 +10,20 @@ Service::Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id)
     : sim_(sim), spec_(std::move(spec)), id_(id),
       replicas_(spec_.initial_replicas) {}
 
-void Service::AcquireSlot(std::function<void()> on_granted) {
+bool Service::AcquireSlot(std::function<void()> on_granted) {
   if (slots_in_use_ < threads()) {
     ++slots_in_use_;
     // Fire via an event to flatten recursion and keep ordering deterministic.
     sim_.After(0, std::move(on_granted));
-  } else {
-    slot_waiters_.push_back(std::move(on_granted));
+    return true;
   }
+  if (spec_.max_queue_per_replica > 0 &&
+      slots_waiting() >= spec_.max_queue_per_replica * replicas_) {
+    ++rejected_arrivals_;
+    return false;
+  }
+  slot_waiters_.push_back(std::move(on_granted));
+  return true;
 }
 
 void Service::ReleaseSlot() {
@@ -40,8 +48,13 @@ std::int64_t Service::CumBusyCoreTime() {
   return busy_integral_;
 }
 
-void Service::RunCpu(SimDuration demand, std::function<void()> done) {
-  CpuBurst burst{demand, std::move(done)};
+void Service::RunCpu(SimDuration demand, std::function<void()> done,
+                     std::function<void()> on_killed) {
+  if (demand_factor_ != 1.0) {
+    demand = static_cast<SimDuration>(
+        std::llround(static_cast<double>(demand) * demand_factor_));
+  }
+  CpuBurst burst{demand, std::move(done), std::move(on_killed)};
   if (cpu_busy_ < cores()) {
     StartBurst(std::move(burst));
   } else {
@@ -52,13 +65,19 @@ void Service::RunCpu(SimDuration demand, std::function<void()> done) {
 void Service::StartBurst(CpuBurst burst) {
   AccumulateBusy();
   ++cpu_busy_;
-  sim_.After(burst.demand, [this, done = std::move(burst.done)]() mutable {
-    AccumulateBusy();
-    --cpu_busy_;
-    ++completed_bursts_;
-    done();
-    MaybeStartCpu();
-  });
+  const std::uint64_t bid = next_burst_id_++;
+  auto event = sim_.After(
+      burst.demand, [this, bid, done = std::move(burst.done)]() mutable {
+        AccumulateBusy();
+        --cpu_busy_;
+        ++completed_bursts_;
+        running_.erase(std::find_if(
+            running_.begin(), running_.end(),
+            [bid](const RunningBurst& r) { return r.id == bid; }));
+        done();
+        MaybeStartCpu();
+      });
+  running_.push_back({bid, event, std::move(burst.on_killed)});
 }
 
 void Service::MaybeStartCpu() {
@@ -69,10 +88,7 @@ void Service::MaybeStartCpu() {
   }
 }
 
-void Service::AddReplica() {
-  ++replicas_;
-  // New capacity can admit queued work immediately.
-  MaybeStartCpu();
+void Service::AdmitWaiters() {
   while (!slot_waiters_.empty() && slots_in_use_ < threads()) {
     auto next = std::move(slot_waiters_.front());
     slot_waiters_.pop_front();
@@ -81,10 +97,82 @@ void Service::AddReplica() {
   }
 }
 
+void Service::AddReplica() {
+  ++replicas_;
+  // New capacity can admit queued work immediately.
+  MaybeStartCpu();
+  AdmitWaiters();
+}
+
 bool Service::RemoveReplica() {
   if (replicas_ <= 1) return false;
   --replicas_;
   return true;
+}
+
+bool Service::Crash() {
+  if (replicas_ <= 0) return false;
+  const std::int32_t before = replicas_;
+  --replicas_;
+  ++crash_count_;
+  // The dead replica hosted ~1/before of the in-flight bursts; kill the
+  // oldest share of running bursts and the front share of the CPU queue
+  // (deterministic selection keeps runs reproducible).
+  const auto share = [before](std::size_t n) {
+    return (n + static_cast<std::size_t>(before) - 1) /
+           static_cast<std::size_t>(before);
+  };
+  const std::size_t kill_running = share(running_.size());
+  const std::size_t kill_queued = share(cpu_queue_.size());
+  for (std::size_t i = 0; i < kill_running; ++i) {
+    RunningBurst victim = std::move(running_.front());
+    running_.erase(running_.begin());
+    victim.event.Cancel();
+    AccumulateBusy();
+    --cpu_busy_;
+    ++killed_bursts_;
+    if (victim.on_killed) sim_.After(0, std::move(victim.on_killed));
+  }
+  for (std::size_t i = 0; i < kill_queued; ++i) {
+    CpuBurst victim = std::move(cpu_queue_.front());
+    cpu_queue_.pop_front();
+    ++killed_bursts_;
+    if (victim.on_killed) sim_.After(0, std::move(victim.on_killed));
+  }
+  return true;
+}
+
+void Service::Restart() {
+  ++replicas_;
+  MaybeStartCpu();
+  AdmitWaiters();
+}
+
+void Service::MultiplyDemandFactor(double factor) {
+  demand_factor_ *= factor;
+}
+
+bool Service::BreakerAllows(ServiceId caller) const {
+  if (spec_.breaker_threshold <= 0) return true;
+  const auto it = breakers_.find(caller);
+  if (it == breakers_.end()) return true;
+  return sim_.Now() >= it->second.open_until;
+}
+
+void Service::ReportCallerOutcome(ServiceId caller, bool ok) {
+  if (spec_.breaker_threshold <= 0) return;
+  BreakerState& st = breakers_[caller];
+  if (ok) {
+    st.consecutive_failures = 0;
+    st.open_until = 0;
+    return;
+  }
+  ++st.consecutive_failures;
+  if (st.consecutive_failures >= spec_.breaker_threshold) {
+    // Saturate so a failed half-open trial re-opens immediately.
+    st.consecutive_failures = spec_.breaker_threshold;
+    st.open_until = sim_.Now() + spec_.breaker_cooldown;
+  }
 }
 
 }  // namespace grunt::microsvc

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <vector>
 
 #include "microsvc/types.h"
 #include "sim/simulation.h"
@@ -20,6 +22,15 @@ namespace grunt::microsvc {
 ///    upstream (cross-tier queue overflow, [58]).
 ///  * **CPU cores** — FCFS multi-server for CPU bursts. Utilization here is
 ///    what CloudWatch-style monitors and the autoscaler observe.
+///
+/// Fault-tolerance extensions (all dormant under the default spec):
+///  * **Admission control** — when `max_queue_per_replica` is set, arrivals
+///    beyond the bounded waiting queue are rejected (load shedding).
+///  * **Per-caller circuit breaker** — consecutive failed calls from one
+///    caller open the breaker; calls fast-fail until the cooldown passes.
+///  * **Crash / restart** — a crash removes one replica (possibly the last)
+///    and kills that replica's share of running and queued CPU bursts; a
+///    restart restores capacity and re-admits waiting work.
 class Service {
  public:
   Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id);
@@ -31,8 +42,10 @@ class Service {
   const ServiceSpec& spec() const { return spec_; }
 
   /// Asks for a thread slot; `on_granted` fires (as a simulation event) once
-  /// one is available. FIFO among waiters.
-  void AcquireSlot(std::function<void()> on_granted);
+  /// one is available. FIFO among waiters. Returns false — and does NOT
+  /// enqueue the callback — when admission control rejects the arrival
+  /// (bounded queue full). Always true with an unbounded queue.
+  bool AcquireSlot(std::function<void()> on_granted);
 
   /// Releases a slot previously granted; wakes the next waiter if any.
   void ReleaseSlot();
@@ -40,7 +53,10 @@ class Service {
   /// Runs a CPU burst of `demand`; `done` fires when the burst completes.
   /// Bursts are served FCFS by `cores()` parallel cores. A demand of zero
   /// completes immediately (still via an event, for deterministic ordering).
-  void RunCpu(SimDuration demand, std::function<void()> done);
+  /// `on_killed` (optional) fires instead of `done` if a replica crash kills
+  /// the burst while it is running or queued.
+  void RunCpu(SimDuration demand, std::function<void()> done,
+              std::function<void()> on_killed = nullptr);
 
   // --- scaling (used by the autoscaler) ---
   void AddReplica();
@@ -50,6 +66,30 @@ class Service {
   std::int32_t replicas() const { return replicas_; }
   std::int32_t threads() const { return replicas_ * spec_.threads_per_replica; }
   std::int32_t cores() const { return replicas_ * spec_.cores_per_replica; }
+
+  // --- faults (used by fault::FaultInjector) ---
+  /// Crashes one replica (replicas may reach 0, unlike RemoveReplica): kills
+  /// the dead replica's proportional share (oldest first) of running and
+  /// queued CPU bursts, firing their `on_killed` callbacks. Requests merely
+  /// holding a slot here while blocked downstream are treated as surviving
+  /// (their connection drains). Returns false when already at 0 replicas.
+  bool Crash();
+  /// Restores one crashed replica and re-admits waiting work.
+  void Restart();
+  /// Multiplies every subsequent CPU demand (slow-replica fault; restore by
+  /// multiplying with the inverse).
+  void MultiplyDemandFactor(double factor);
+  double demand_factor() const { return demand_factor_; }
+  std::int64_t killed_bursts() const { return killed_bursts_; }
+  std::int64_t crash_count() const { return crash_count_; }
+  std::int64_t rejected_arrivals() const { return rejected_arrivals_; }
+
+  // --- circuit breaker (caller side of the RPC edge into this service) ---
+  /// False while the breaker for `caller` is open (callers fast-fail).
+  bool BreakerAllows(ServiceId caller) const;
+  /// Reports the outcome of a call from `caller` that was actually issued
+  /// (fast-fails are not reported, or an open breaker could never close).
+  void ReportCallerOutcome(ServiceId caller, bool ok);
 
   // --- instantaneous metrics ---
   std::int32_t slots_in_use() const { return slots_in_use_; }
@@ -73,25 +113,43 @@ class Service {
   struct CpuBurst {
     SimDuration demand;
     std::function<void()> done;
+    std::function<void()> on_killed;
+  };
+  struct RunningBurst {
+    std::uint64_t id;
+    sim::EventHandle event;
+    std::function<void()> on_killed;
+  };
+  struct BreakerState {
+    std::int32_t consecutive_failures = 0;
+    SimTime open_until = 0;
   };
 
   void AccumulateBusy();
   void MaybeStartCpu();
   void StartBurst(CpuBurst burst);
+  void AdmitWaiters();
 
   sim::Simulation& sim_;
   ServiceSpec spec_;
   ServiceId id_;
   std::int32_t replicas_;
+  double demand_factor_ = 1.0;
 
   std::int32_t slots_in_use_ = 0;
   std::deque<std::function<void()>> slot_waiters_;
 
   std::int32_t cpu_busy_ = 0;
   std::deque<CpuBurst> cpu_queue_;
+  std::vector<RunningBurst> running_;
+  std::uint64_t next_burst_id_ = 0;
   std::int64_t busy_integral_ = 0;  ///< core-microseconds
   SimTime busy_last_update_ = 0;
   std::int64_t completed_bursts_ = 0;
+  std::int64_t killed_bursts_ = 0;
+  std::int64_t crash_count_ = 0;
+  std::int64_t rejected_arrivals_ = 0;
+  std::map<ServiceId, BreakerState> breakers_;
 };
 
 }  // namespace grunt::microsvc

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,42 @@ enum class RequestClass : std::uint8_t {
 
 const char* ToString(RequestClass c);
 
+/// Terminal outcome of a request (or of one RPC attempt inside its chain),
+/// as the issuing client observes it. Every submitted request reaches
+/// exactly one terminal outcome, even when timed out, load-shed, or caught
+/// mid-flight by a replica crash.
+enum class Outcome : std::uint8_t {
+  kOk = 0,                ///< reply received
+  kTimeout = 1,           ///< per-attempt RPC timeout fired, retries exhausted
+  kRejected = 2,          ///< load-shed: bounded queue full or breaker open
+  kDeadlineExceeded = 3,  ///< end-to-end deadline budget ran out
+  kFailed = 4,            ///< connection reset: replica crashed mid-burst
+};
+
+inline constexpr std::size_t kOutcomeCount = 5;
+
+const char* ToString(Outcome o);
+
+/// Client-side policy of one RPC edge (the call INTO a hop): how long the
+/// caller waits, and how it retries. Mirrors Thrift/gRPC client options.
+/// The all-defaults policy is "wait forever, never retry" — identical to the
+/// pre-fault-tolerance simulator, so existing figures reproduce unchanged.
+struct RpcPolicy {
+  /// Per-attempt timeout measured from the instant the caller issues the
+  /// call (covers network, queueing, execution, downstream subtree, reply).
+  /// 0 = wait forever.
+  SimDuration timeout = 0;
+  /// Retries after the first attempt. Retries re-inject the call as a fresh
+  /// arrival (the abandoned attempt keeps executing as orphan work) — this
+  /// is what makes retry storms amplify the Grunt attack.
+  std::int32_t max_retries = 0;
+  /// Exponential backoff before attempt k (1-based retry): base * mult^(k-1).
+  SimDuration backoff_base = Ms(10);
+  double backoff_multiplier = 2.0;
+  /// Jitter fraction j: each backoff is scaled by 1 + U(-j, +j). 0 = exact.
+  double jitter = 0.0;
+};
+
 /// One hop of a request type's critical path (Fig 2(c)): the service visited,
 /// the CPU demand before calling the next hop, and the CPU demand after the
 /// downstream reply returns (before replying upstream).
@@ -32,6 +69,9 @@ struct Hop {
   ServiceId service = kInvalidService;
   SimDuration cpu_demand = 0;   ///< mean pre-call CPU burst
   SimDuration post_demand = 0;  ///< mean post-reply CPU burst
+  /// Policy governing calls INTO this hop (for hop 0, the external client's
+  /// own timeout/retry). Unset = the application-wide default policy.
+  std::optional<RpcPolicy> rpc;
 };
 
 /// Static description of a supported user request (== execution path ==
@@ -47,6 +87,10 @@ struct RequestTypeSpec {
   /// Static/cached endpoints are served by the gateway/CDN and never reach
   /// the backend; the profiler excludes them (Sec IV-C).
   bool is_static = false;
+  /// End-to-end deadline for the whole request, propagated down the call
+  /// chain: every downstream attempt's timeout is truncated to the remaining
+  /// budget. 0 = none.
+  SimDuration deadline = 0;
 };
 
 /// Static description of one microservice.
@@ -59,6 +103,15 @@ struct ServiceSpec {
   std::int32_t cores_per_replica = 1;  ///< 1 vCPU basic unit (Sec V-B)
   std::int32_t initial_replicas = 1;
   std::int32_t max_replicas = 8;
+  /// Admission control (load shedding): arrivals beyond
+  /// `max_queue_per_replica * replicas` waiting calls are rejected
+  /// immediately instead of queueing. 0 = unbounded queue (seed behaviour).
+  std::int32_t max_queue_per_replica = 0;
+  /// Per-caller circuit breaker: after this many consecutive failed calls
+  /// from one caller, further calls from that caller fast-fail (kRejected)
+  /// for `breaker_cooldown`. 0 = disabled.
+  std::int32_t breaker_threshold = 0;
+  SimDuration breaker_cooldown = Ms(500);
 };
 
 /// How per-request CPU demands are drawn around their mean.

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "fixtures.h"
 #include "microsvc/cluster.h"
 
@@ -131,6 +134,119 @@ TEST_P(BurstSizeDamageTest, MoreVolumeMoreDamage) {
 
 INSTANTIATE_TEST_SUITE_P(Volumes, BurstSizeDamageTest,
                          ::testing::Values(20, 40, 80));
+
+// --- fault-tolerance interactions -----------------------------------------
+// The RPC policy layer changes the SHAPE of the damage, not the existence of
+// the blocking effects: client retries multiply the attack volume hitting
+// the bottleneck (retry storm), while load shedding trades unbounded
+// queueing delay for explicit rejections.
+
+TEST(BlockingEffects, RetryStormAmplifiesBurstDamage) {
+  // Same burst, same probe; the only difference is a 100 ms timeout with
+  // 2 retries on the um -> worker-a edge. Timed-out attempts keep running
+  // as orphans while each retry injects a fresh arrival, so the bottleneck
+  // executes a multiple of the attacker's nominal volume and a late legit
+  // request on the same path degrades further.
+  auto build = [](bool retries) {
+    Application::Builder b;
+    b.SetName("retrystorm").SetServiceTimeDist(
+        ServiceTimeDist::kDeterministic).SetNetLatency(Us(200));
+    const ServiceId gw = b.AddService(grunt::testing::Svc("gw", 2048, 8));
+    const ServiceId um = b.AddService(grunt::testing::Svc("um", 12, 4));
+    const ServiceId wa = b.AddService(grunt::testing::Svc("worker-a", 64, 2));
+    const ServiceId leaf = b.AddService(grunt::testing::Svc("leaf", 128, 2));
+    auto t = grunt::testing::Type("a", {{gw, Us(200), 0},
+                                        {um, Us(1000), Us(400)},
+                                        {wa, Us(9000), Us(500)},
+                                        {leaf, Us(400), 0}});
+    if (retries) {
+      // Tighter than worker-a's worst-case queueing under the burst, so
+      // attack attempts time out and re-inject while their orphans keep
+      // burning worker-a CPU.
+      RpcPolicy p;
+      p.timeout = Ms(40);
+      p.max_retries = 2;
+      p.backoff_base = Ms(10);
+      t.hops[2].rpc = p;
+    }
+    b.AddRequestType(t);
+    // The probe client has no fault-tolerance config: it measures the pure
+    // queueing delay the storm creates on the shared path.
+    b.AddRequestType(grunt::testing::Type("probe", {{gw, Us(200), 0},
+                                                    {um, Us(1000), Us(400)},
+                                                    {wa, Us(9000), Us(500)},
+                                                    {leaf, Us(400), 0}}));
+    return std::move(b).Build();
+  };
+  auto run = [&](bool retries) {
+    const Application app = build(retries);
+    sim::Simulation sim;
+    Cluster cluster(sim, app, 1);
+    sim.At(0, [&] {
+      for (int i = 0; i < 60; ++i) {
+        cluster.Submit(0, RequestClass::kAttack, /*heavy=*/true, 7);
+      }
+    });
+    SimDuration probe_rt = -1;
+    sim.At(Ms(300), [&] {
+      cluster.Submit(1, RequestClass::kProbe, false, 8,
+                     [&](const CompletionRecord& r) {
+                       probe_rt = r.end - r.start;
+                     });
+    });
+    sim.RunAll();
+    const auto wa = *app.FindService("worker-a");
+    return std::pair<SimDuration, std::int64_t>(
+        probe_rt, cluster.service(wa).completed_bursts());
+  };
+  const auto [plain_rt, plain_bursts] = run(false);
+  const auto [storm_rt, storm_bursts] = run(true);
+  // Orphans + retries: the bottleneck executed well over the nominal burst.
+  EXPECT_GT(storm_bursts, plain_bursts + plain_bursts / 2);
+  // And the late legit request on the path is worse off than without any
+  // fault tolerance at all.
+  EXPECT_GT(storm_rt, plain_rt);
+}
+
+TEST(BlockingEffects, LoadSheddingCapsLatencyAtRejectionCost) {
+  // 40 simultaneous arrivals on a 10 ms / 2-core service. Unbounded: all
+  // admitted, worst RT ~200 ms. Bounded queue (8 slots + 4 waiters): 28 are
+  // rejected instantly and every ADMITTED request finishes fast — shedding
+  // converts tail latency into an explicit, observable rejection rate.
+  auto run = [](std::int32_t max_queue) {
+    Application::Builder b;
+    b.SetName("shed").SetServiceTimeDist(ServiceTimeDist::kDeterministic)
+        .SetNetLatency(Us(200));
+    auto spec = grunt::testing::Svc("s", 8, 2);
+    spec.max_queue_per_replica = max_queue;
+    const ServiceId s = b.AddService(spec);
+    b.AddRequestType(grunt::testing::Type("t", {{s, Ms(10), 0}}));
+    const Application app = std::move(b).Build();
+    sim::Simulation sim;
+    Cluster cluster(sim, app, 1);
+    SimDuration worst_ok = 0;
+    sim.At(0, [&] {
+      for (int i = 0; i < 40; ++i) {
+        cluster.Submit(0, RequestClass::kLegit, false, 1,
+                       [&](const CompletionRecord& r) {
+                         if (r.outcome == Outcome::kOk) {
+                           worst_ok = std::max(worst_ok, r.end - r.start);
+                         }
+                       });
+      }
+    });
+    sim.RunAll();
+    return std::pair<SimDuration, std::uint64_t>(
+        worst_ok, cluster.outcome_count(Outcome::kRejected));
+  };
+  const auto [unbounded_worst, unbounded_rejected] = run(0);
+  const auto [shed_worst, shed_rejected] = run(4);
+  EXPECT_EQ(unbounded_rejected, 0u);
+  EXPECT_EQ(unbounded_worst, 40 / 2 * Ms(10) + Us(400));  // FIFO tail
+  EXPECT_EQ(shed_rejected, 28u);  // 40 - 8 slots - 4 waiters
+  EXPECT_EQ(shed_worst, 12 / 2 * Ms(10) + Us(400));
+  EXPECT_LT(shed_worst, unbounded_worst / 3);
+}
 
 }  // namespace
 }  // namespace grunt::microsvc

@@ -1,0 +1,257 @@
+// FaultInjector: crash/restart, slow-replica and network-spike faults, the
+// determinism of the random crash schedule, and the no-leak guarantees of
+// the crash path (slots and cores all return to zero).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fixtures.h"
+#include "microsvc/cluster.h"
+
+namespace grunt::fault {
+namespace {
+
+using grunt::testing::Svc;
+using grunt::testing::Type;
+using microsvc::Application;
+using microsvc::Cluster;
+using microsvc::CompletionRecord;
+using microsvc::Outcome;
+using microsvc::RequestClass;
+using microsvc::ServiceId;
+
+/// One service, one hop, deterministic 10 ms demand, net 200 us.
+Application OneSvcApp(std::int32_t threads = 4, std::int32_t cores = 4) {
+  Application::Builder b;
+  b.SetName("one").SetServiceTimeDist(microsvc::ServiceTimeDist::kDeterministic)
+      .SetNetLatency(Us(200));
+  const ServiceId s = b.AddService(Svc("s", threads, cores));
+  b.AddRequestType(Type("t", {{s, Ms(10), 0}}));
+  return std::move(b).Build();
+}
+
+TEST(FaultInjector, CrashKillsRunningBurstsAndFailsTheirRequests) {
+  const Application app = OneSvcApp();
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  FaultInjector inj(sim, cluster, 1);
+  std::vector<CompletionRecord> recs;
+  for (int i = 0; i < 2; ++i) {
+    cluster.Submit(0, RequestClass::kLegit, false, 1,
+                   [&](const CompletionRecord& r) { recs.push_back(r); });
+  }
+  inj.ScheduleCrash(0, Ms(5));  // single replica: kills everything in flight
+  sim.RunAll();
+  ASSERT_EQ(recs.size(), 2u);
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.outcome, Outcome::kFailed);
+    EXPECT_EQ(r.end, Ms(5) + Us(200));  // killed at 5 ms + error reply net
+  }
+  auto& svc = cluster.service(0);
+  EXPECT_EQ(svc.replicas(), 0);
+  EXPECT_EQ(svc.crash_count(), 1);
+  EXPECT_EQ(svc.killed_bursts(), 2);
+  EXPECT_EQ(svc.completed_bursts(), 0);
+  EXPECT_EQ(svc.slots_in_use(), 0);
+  EXPECT_EQ(svc.cpu_busy(), 0);
+  ASSERT_EQ(inj.log().size(), 1u);
+  EXPECT_EQ(inj.log()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(inj.log()[0].at, Ms(5));
+  EXPECT_TRUE(inj.log()[0].applied);
+}
+
+TEST(FaultInjector, RestartRestoresCapacityAndService) {
+  const Application app = OneSvcApp();
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  FaultInjector inj(sim, cluster, 1);
+  inj.ScheduleCrash(0, Ms(5), /*downtime=*/Ms(10));
+  CompletionRecord rec;
+  sim.At(Ms(20), [&] {
+    cluster.Submit(0, RequestClass::kLegit, false, 1,
+                   [&](const CompletionRecord& r) { rec = r; });
+  });
+  sim.RunAll();
+  EXPECT_EQ(cluster.service(0).replicas(), 1);
+  EXPECT_EQ(rec.outcome, Outcome::kOk);
+  EXPECT_EQ(rec.end, Ms(30) + Us(400));  // 20 + net .2 + 10 cpu + net .2
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_EQ(inj.log()[1].kind, FaultKind::kRestart);
+  EXPECT_EQ(inj.log()[1].at, Ms(15));
+}
+
+TEST(FaultInjector, CrashAtZeroReplicasIsLoggedAsNotApplied) {
+  const Application app = OneSvcApp();
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  FaultInjector inj(sim, cluster, 1);
+  inj.ScheduleCrash(0, Ms(1));
+  inj.ScheduleCrash(0, Ms(2));  // already at 0 replicas
+  sim.RunAll();
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_TRUE(inj.log()[0].applied);
+  EXPECT_FALSE(inj.log()[1].applied);
+  EXPECT_EQ(cluster.service(0).crash_count(), 1);
+}
+
+TEST(FaultInjector, CrashOnMultiReplicaServiceKillsProportionalShare) {
+  // 3 replicas, 6 running bursts: one crash kills ceil(6/3) = 2 (oldest
+  // first) and leaves the other 4 running.
+  Application::Builder b;
+  b.SetName("multi")
+      .SetServiceTimeDist(microsvc::ServiceTimeDist::kDeterministic)
+      .SetNetLatency(Us(200));
+  auto spec = Svc("s", 2, 2);
+  spec.initial_replicas = 3;
+  spec.max_replicas = 8;
+  const ServiceId s = b.AddService(spec);
+  b.AddRequestType(Type("t", {{s, Ms(10), 0}}));
+  const Application app = std::move(b).Build();
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  FaultInjector inj(sim, cluster, 1);
+  std::vector<Outcome> outcomes;
+  for (int i = 0; i < 6; ++i) {
+    cluster.Submit(0, RequestClass::kLegit, false, 1,
+                   [&](const CompletionRecord& r) {
+                     outcomes.push_back(r.outcome);
+                   });
+  }
+  inj.ScheduleCrash(0, Ms(5));
+  sim.RunAll();
+  EXPECT_EQ(cluster.service(0).replicas(), 2);
+  EXPECT_EQ(cluster.service(0).killed_bursts(), 2);
+  EXPECT_EQ(cluster.outcome_count(Outcome::kFailed), 2u);
+  EXPECT_EQ(cluster.ok_count(), 4u);
+  ASSERT_EQ(outcomes.size(), 6u);
+}
+
+TEST(FaultInjector, CrashMidChainReleasesUpstreamSlots) {
+  // Two-hop chain; the downstream service crashes while the upstream hop
+  // is blocked on it holding a slot. The failure propagates up, both slots
+  // come back, and the request fails exactly once.
+  Application::Builder b;
+  b.SetName("chain")
+      .SetServiceTimeDist(microsvc::ServiceTimeDist::kDeterministic)
+      .SetNetLatency(Us(200));
+  const ServiceId s0 = b.AddService(Svc("s0", 8, 2));
+  const ServiceId s1 = b.AddService(Svc("s1", 8, 2));
+  b.AddRequestType(Type("t", {{s0, Ms(1), Ms(1)}, {s1, Ms(50), 0}}));
+  const Application app = std::move(b).Build();
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  FaultInjector inj(sim, cluster, 1);
+  CompletionRecord rec;
+  cluster.Submit(0, RequestClass::kLegit, false, 1,
+                 [&](const CompletionRecord& r) { rec = r; });
+  inj.ScheduleCrash(1, Ms(10));
+  sim.RunAll();
+  EXPECT_EQ(rec.outcome, Outcome::kFailed);
+  // Killed at 10 ms; error reply to s0 (0.2), slot released, skip post-CPU,
+  // error reply to the client (0.2).
+  EXPECT_EQ(rec.end, Ms(10) + Us(400));
+  EXPECT_EQ(cluster.service(s0).slots_in_use(), 0);
+  EXPECT_EQ(cluster.service(s1).slots_in_use(), 0);
+  EXPECT_EQ(cluster.in_flight(), 0u);
+}
+
+TEST(FaultInjector, SlowFaultScalesDemandForItsWindowOnly) {
+  const Application app = OneSvcApp();
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  FaultInjector inj(sim, cluster, 1);
+  inj.ScheduleSlow(0, Ms(1), /*factor=*/3.0, /*duration=*/Ms(50));
+  std::vector<CompletionRecord> recs;
+  auto submit_at = [&](SimTime at) {
+    sim.At(at, [&] {
+      cluster.Submit(0, RequestClass::kLegit, false, 1,
+                     [&](const CompletionRecord& r) { recs.push_back(r); });
+    });
+  };
+  submit_at(Ms(2));    // inside the window: 30 ms burst
+  submit_at(Ms(100));  // after the window: 10 ms again
+  sim.RunAll();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].end - recs[0].start, Ms(30) + Us(400));
+  EXPECT_EQ(recs[1].end - recs[1].start, Ms(10) + Us(400));
+  EXPECT_DOUBLE_EQ(cluster.service(0).demand_factor(), 1.0);
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_EQ(inj.log()[0].kind, FaultKind::kSlowStart);
+  EXPECT_EQ(inj.log()[1].kind, FaultKind::kSlowEnd);
+}
+
+TEST(FaultInjector, NetSpikeAddsLatencyForItsWindowOnly) {
+  const Application app = OneSvcApp();
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  FaultInjector inj(sim, cluster, 1);
+  inj.ScheduleNetSpike(Ms(1), Us(800), Ms(50));
+  std::vector<CompletionRecord> recs;
+  auto submit_at = [&](SimTime at) {
+    sim.At(at, [&] {
+      cluster.Submit(0, RequestClass::kLegit, false, 1,
+                     [&](const CompletionRecord& r) { recs.push_back(r); });
+    });
+  };
+  submit_at(Ms(2));    // both messages pay 1 ms instead of 0.2 ms
+  submit_at(Ms(100));  // spike over
+  sim.RunAll();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].end - recs[0].start, Ms(10) + Us(2000));
+  EXPECT_EQ(recs[1].end - recs[1].start, Ms(10) + Us(400));
+  EXPECT_EQ(cluster.extra_net_latency(), 0);
+}
+
+TEST(FaultInjector, RandomCrashScheduleIsDeterministicPerSeed) {
+  const Application app = grunt::testing::TwoPathParallelApp();
+  auto run = [&](std::uint64_t seed) {
+    sim::Simulation sim;
+    Cluster cluster(sim, app, 1);
+    FaultInjector inj(sim, cluster, seed);
+    inj.ScheduleRandomCrashes(0, Sec(10), Ms(400), Ms(100));
+    sim.RunAll();
+    std::vector<std::pair<SimTime, microsvc::ServiceId>> crashes;
+    for (const auto& e : inj.log()) {
+      if (e.kind == FaultKind::kCrash) crashes.emplace_back(e.at, e.service);
+    }
+    return crashes;
+  };
+  const auto a1 = run(7);
+  const auto a2 = run(7);
+  const auto b1 = run(8);
+  EXPECT_FALSE(a1.empty());
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b1);
+}
+
+TEST(FaultInjector, CrashRestartChurnLeaksNothing) {
+  // Sustained load through a service that crashes and restarts repeatedly:
+  // every request terminates exactly once and all resources return to zero.
+  const Application app = OneSvcApp(/*threads=*/2, /*cores=*/2);
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 5);
+  FaultInjector inj(sim, cluster, 5);
+  for (int i = 0; i < 100; ++i) {
+    sim.At(Ms(2) * i, [&] {
+      cluster.Submit(0, RequestClass::kLegit, false, 1);
+    });
+  }
+  for (int k = 0; k < 4; ++k) {
+    inj.ScheduleCrash(0, Ms(15) + Ms(40) * k, /*downtime=*/Ms(20));
+  }
+  sim.RunAll();
+  EXPECT_EQ(cluster.completed_count(), 100u);
+  EXPECT_EQ(cluster.in_flight(), 0u);
+  EXPECT_GT(cluster.outcome_count(Outcome::kFailed), 0u);
+  auto& svc = cluster.service(0);
+  EXPECT_EQ(svc.replicas(), 1);
+  EXPECT_EQ(svc.slots_in_use(), 0);
+  EXPECT_EQ(svc.slots_waiting(), 0);
+  EXPECT_EQ(svc.cpu_busy(), 0);
+  EXPECT_EQ(svc.cpu_queue_length(), 0);
+}
+
+}  // namespace
+}  // namespace grunt::fault

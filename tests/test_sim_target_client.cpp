@@ -38,14 +38,17 @@ TEST(SimTargetClient, CrawlExposesEveryUrlWithStaticFlag) {
 TEST(SimTargetClient, SendAttributesClassAndReportsTimestamps) {
   Rig rig;
   SimTime sent = -1, completed = -1;
+  bool ok = false;
   rig.client.Send(0, /*heavy=*/false, /*bot_id=*/777, /*attack_traffic=*/true,
-                  [&](SimTime s, SimTime e) {
+                  [&](SimTime s, SimTime e, bool o) {
                     sent = s;
                     completed = e;
+                    ok = o;
                   });
   rig.sim.RunAll();
   EXPECT_EQ(sent, 0);
   EXPECT_EQ(completed, Ms(9) + Us(1200));
+  EXPECT_TRUE(ok);
   ASSERT_EQ(rig.cluster.completions().size(), 1u);
   EXPECT_EQ(rig.cluster.completions()[0].cls, microsvc::RequestClass::kAttack);
   EXPECT_EQ(rig.cluster.completions()[0].client_id, 777u);
