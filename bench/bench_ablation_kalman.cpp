@@ -9,8 +9,10 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "rig.h"
+#include "util/parallel_runner.h"
 
 using namespace grunt;
 using namespace grunt::bench;
@@ -72,17 +74,32 @@ int main() {
 
   Table table({"Controller", "Bursts", "Mean P_MB (ms)", "Stddev P_MB",
                "Cap violations (%)", "AvgRT att (ms)"});
+  // (seed, kalman) grid, flattened seed-major to keep the historical row
+  // order; the four campaigns are independent rigs.
+  util::ParallelRunner pool;
   for (int seed = 0; seed < 2; ++seed) {
     for (bool kf : {true, false}) {
       std::printf("running %s (seed %d)...\n",
                   kf ? "kalman" : "raw-feedback", seed);
-      const KfOutcome o = Run(kf, 200 + static_cast<std::uint64_t>(seed));
-      table.AddRow({std::string(kf ? "Kalman" : "Raw") + " (seed " +
-                        std::to_string(seed) + ")",
-                    Table::Int(static_cast<std::int64_t>(o.bursts)),
-                    Table::Num(o.mean_pmb, 0), Table::Num(o.stddev_pmb, 0),
-                    Table::Num(o.violation_pct, 1), Table::Num(o.att_rt, 0)});
     }
+  }
+  std::fprintf(stderr, "dispatching 4 campaigns on %u threads\n",
+               pool.threads());
+  const std::vector<KfOutcome> outcomes =
+      pool.Map<KfOutcome>(4, [](std::size_t i) {
+        const int seed = static_cast<int>(i / 2);
+        const bool kf = (i % 2 == 0);
+        return Run(kf, 200 + static_cast<std::uint64_t>(seed));
+      });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const int seed = static_cast<int>(i / 2);
+    const bool kf = (i % 2 == 0);
+    const KfOutcome& o = outcomes[i];
+    table.AddRow({std::string(kf ? "Kalman" : "Raw") + " (seed " +
+                      std::to_string(seed) + ")",
+                  Table::Int(static_cast<std::int64_t>(o.bursts)),
+                  Table::Num(o.mean_pmb, 0), Table::Num(o.stddev_pmb, 0),
+                  Table::Num(o.violation_pct, 1), Table::Num(o.att_rt, 0)});
   }
   std::printf("\n");
   table.Print(std::cout);

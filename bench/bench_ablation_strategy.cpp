@@ -12,6 +12,7 @@
 
 #include "baseline/tail_attack.h"
 #include "rig.h"
+#include "util/parallel_runner.h"
 
 using namespace grunt;
 using namespace grunt::bench;
@@ -140,16 +141,26 @@ int main() {
          "only multi-path alternation reaches the damage goal while staying "
          "under every detector");
 
-  std::vector<Outcome> outcomes;
-  std::printf("running Grunt (full)...\n");
-  outcomes.push_back(RunGruntVariant("Grunt (alternating, all groups)", true, 0));
-  std::printf("running Grunt single-path variant...\n");
-  outcomes.push_back(RunGruntVariant(
-      "Grunt framework, single path/group", false, 0));
-  std::printf("running Tail attack...\n");
-  outcomes.push_back(RunTail());
-  std::printf("running flood...\n");
-  outcomes.push_back(RunFlood());
+  util::ParallelRunner pool;
+  std::printf("running Grunt (full), Grunt single-path, Tail attack, and "
+              "flood...\n");
+  std::fprintf(stderr, "dispatching on %u threads\n", pool.threads());
+  // Each strategy deploys its own rig; fan the four campaigns out and keep
+  // the fixed table order regardless of which finishes first.
+  const std::vector<Outcome> outcomes =
+      pool.Map<Outcome>(4, [](std::size_t i) {
+        switch (i) {
+          case 0:
+            return RunGruntVariant("Grunt (alternating, all groups)", true, 0);
+          case 1:
+            return RunGruntVariant("Grunt framework, single path/group",
+                                   false, 0);
+          case 2:
+            return RunTail();
+          default:
+            return RunFlood();
+        }
+      });
 
   Table table({"Strategy", "AvgRT base (ms)", "AvgRT att (ms)", "RT factor",
                "CPU att (%)", "Scale acts", "Attrib alerts", "Sat alerts",

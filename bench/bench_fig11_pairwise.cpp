@@ -10,9 +10,11 @@
 //      volume; the downstream path needs volume.
 
 #include <cstdio>
+#include <vector>
 
 #include "attack/burst.h"
 #include "rig.h"
+#include "util/parallel_runner.h"
 
 using namespace grunt;
 using namespace grunt::bench;
@@ -74,15 +76,21 @@ double Baseline(const CloudSetting& setting, std::int32_t url,
   return baseline;
 }
 
-void RunPair(const CloudSetting& setting, const char* label,
-             const char* name_a, const char* name_b) {
+void RunPair(util::ParallelRunner& pool, const CloudSetting& setting,
+             const char* label, const char* name_a, const char* name_b) {
   const auto app = apps::MakeSocialNetwork(
       {setting.replica_scale, setting.capacity_scale,
        microsvc::ServiceTimeDist::kExponential});
   const auto a = *app.FindRequestType(name_a);
   const auto b = *app.FindRequestType(name_b);
-  const double base_a = Baseline(setting, a, 7);
-  const double base_b = Baseline(setting, b, 8);
+  // Each probe runs on its own fresh deployment, so the baselines and every
+  // (volume, direction) cell fan out across the pool; seeds are per-job, so
+  // the table is the same at any thread count.
+  const auto bases = pool.Map<double>(2, [&](std::size_t i) {
+    return Baseline(setting, i == 0 ? a : b, 7 + i);
+  });
+  const double base_a = bases[0];
+  const double base_b = bases[1];
   std::printf("\n--- %s: a=%s (baseline %.1fms), b=%s (baseline %.1fms) "
               "---\n",
               label, name_a, base_a, name_b, base_b);
@@ -90,13 +98,21 @@ void RunPair(const CloudSetting& setting, const char* label,
               "probe RT of a, b bursts");
   std::printf("%10s | %14s %9s | %14s %9s\n", "(reqs)", "median (ms)",
               "interf?", "median (ms)", "interf?");
-  for (std::int32_t volume : {12, 24, 48, 96}) {
-    const Probe ab = RunDirection(setting, a, b, volume, 100 + volume);
-    const Probe ba = RunDirection(setting, b, a, volume, 200 + volume);
+  const std::vector<std::int32_t> volumes{12, 24, 48, 96};
+  const auto probes =
+      pool.Map<Probe>(volumes.size() * 2, [&](std::size_t j) {
+        const std::int32_t volume = volumes[j / 2];
+        return j % 2 == 0
+                   ? RunDirection(setting, a, b, volume, 100 + volume)
+                   : RunDirection(setting, b, a, volume, 200 + volume);
+      });
+  for (std::size_t v = 0; v < volumes.size(); ++v) {
+    const Probe& ab = probes[2 * v];
+    const Probe& ba = probes[2 * v + 1];
     const auto verdict = [](double rt, double base) {
       return rt > std::max(3.0 * base, base + 60.0) ? "YES" : "no";
     };
-    std::printf("%10d | %14.1f %9s | %14.1f %9s\n", volume,
+    std::printf("%10d | %14.1f %9s | %14.1f %9s\n", volumes[v],
                 ab.victim_median_ms, verdict(ab.victim_median_ms, base_b),
                 ba.victim_median_ms, verdict(ba.victim_median_ms, base_a));
   }
@@ -110,9 +126,11 @@ int main() {
          "threshold, both directions; (b) sequential pair: the upstream "
          "path interferes at every volume");
   const CloudSetting setting{"EC2-7K", 7000, 1.0, 1};
-  RunPair(setting, "Fig 11(a): PARALLEL pair", "compose/media",
+  util::ParallelRunner pool;
+  std::fprintf(stderr, "probing on %u threads\n", pool.threads());
+  RunPair(pool, setting, "Fig 11(a): PARALLEL pair", "compose/media",
           "compose/url");
-  RunPair(setting, "Fig 11(b): SEQUENTIAL pair (a upstream)", "compose/poll",
-          "compose/media");
+  RunPair(pool, setting, "Fig 11(b): SEQUENTIAL pair (a upstream)",
+          "compose/poll", "compose/media");
   return 0;
 }

@@ -2,8 +2,21 @@
 // event scheduling/firing, end-to-end simulated request throughput, the
 // Section III model equations, Kalman updates, and dependency-group
 // union-find. These bound how much simulated time a bench second buys.
+//
+// Besides the google-benchmark suite, main() measures the engine directly
+// and writes `BENCH_engine.json` (path overridable via GRUNT_BENCH_JSON):
+// events/sec for the main engine paths plus wall-clock for a fan-out of
+// independent mini-campaigns at 1 thread and at ParallelRunner's default
+// thread count, with a hash check that the parallel run produced the
+// byte-identical result stream. Set GRUNT_BENCH_SKIP_JSON=1 to skip it
+// (e.g. when only the google-benchmark output is wanted).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "attack/kalman.h"
 #include "fixtures_path.h"
@@ -11,6 +24,7 @@
 #include "model/queuing_model.h"
 #include "sim/simulation.h"
 #include "trace/dependency.h"
+#include "util/parallel_runner.h"
 #include "util/rng.h"
 
 namespace grunt {
@@ -29,6 +43,67 @@ void BM_EventScheduleFire(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventScheduleFire);
+
+void BM_EventScheduleFireHeapCallback(benchmark::State& state) {
+  // Captures larger than InplaceFunction::kInlineCapacity spill to the
+  // heap; this bounds the cost of the slow path relative to the SBO path.
+  struct BigCapture {
+    char pad[sim::InplaceFunction::kInlineCapacity] = {};
+    int* sink = nullptr;
+  };
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.At(i, [big = BigCapture{{}, &sink}] { ++*big.sink; });
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sink);
+    if (sim.stats().heap_callbacks != 1000) {
+      state.SkipWithError("expected heap-path callbacks");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleFireHeapCallback);
+
+void BM_EveryRearmFire(benchmark::State& state) {
+  // A single repeating event firing 1000 times: the callback is stored once
+  // and the entry re-arms in place, so this is pure heap + fire cost.
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int ticks = 0;
+    auto handle = sim.Every(1, [&ticks] { ++ticks; });
+    sim.RunUntil(1000);
+    handle.Cancel();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EveryRearmFire);
+
+void BM_CancelHeavyCompaction(benchmark::State& state) {
+  // Schedule 1000, cancel 750 up front: exercises the generation-counter
+  // cancellation and the lazy purge that compacts the heap once cancelled
+  // entries outnumber live ones.
+  std::vector<sim::EventHandle> handles;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int sink = 0;
+    handles.clear();
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.At(i, [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      if (i % 4 != 0) handles[i].Cancel();
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CancelHeavyCompaction);
 
 void BM_SimulatedRequestThroughput(benchmark::State& state) {
   const auto app = bench_fixtures::SingleChainApp();
@@ -94,7 +169,139 @@ void BM_RngExponential(benchmark::State& state) {
 }
 BENCHMARK(BM_RngExponential);
 
+// ---------------------------------------------------------------------------
+// BENCH_engine.json: direct measurements, independent of google-benchmark.
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Events/sec of schedule+fire batches of `kBatch` one-shot events, run for
+/// ~0.25 s. `heap_path` switches the closure to one that spills past the SBO.
+double MeasureEventsPerSec(bool heap_path) {
+  constexpr int kBatch = 1000;
+  struct BigCapture {
+    char pad[sim::InplaceFunction::kInlineCapacity] = {};
+    int* sink = nullptr;
+  };
+  std::uint64_t events = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    sim::Simulation sim;
+    int sink = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      if (heap_path) {
+        sim.At(i, [big = BigCapture{{}, &sink}] { ++*big.sink; });
+      } else {
+        sim.At(i, [&sink] { ++sink; });
+      }
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sink);
+    events += kBatch;
+    elapsed = SecondsSince(t0);
+  } while (elapsed < 0.25);
+  return static_cast<double>(events) / elapsed;
+}
+
+/// One independent simulated campaign; returns an FNV-1a hash of its result
+/// stream so runs at different thread counts can be compared bit-for-bit.
+std::uint64_t MiniCampaign(std::size_t job) {
+  const auto app = bench_fixtures::SingleChainApp();
+  sim::Simulation sim;
+  microsvc::Cluster cluster(sim, app, 1);
+  RngStream arrivals(static_cast<std::uint64_t>(job) + 1, "bench.campaign");
+  SimTime t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += arrivals.NextInt(Us(50), Us(500));
+    sim.At(t, [&cluster, i] {
+      cluster.Submit(0, microsvc::RequestClass::kLegit, i % 7 == 0, 1);
+    });
+  }
+  sim.RunAll();
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  mix(cluster.completed_count());
+  mix(static_cast<std::uint64_t>(sim.Now()));
+  mix(sim.events_fired());
+  return h;
+}
+
+struct CampaignTiming {
+  double wall_sec = 0;
+  std::vector<std::uint64_t> hashes;
+};
+
+CampaignTiming TimeCampaigns(unsigned threads, std::size_t jobs) {
+  util::ParallelRunner pool(threads);
+  CampaignTiming out;
+  const auto t0 = Clock::now();
+  out.hashes =
+      pool.Map<std::uint64_t>(jobs, [](std::size_t i) { return MiniCampaign(i); });
+  out.wall_sec = SecondsSince(t0);
+  return out;
+}
+
+void WriteEngineJson() {
+  const char* path = std::getenv("GRUNT_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') path = "BENCH_engine.json";
+
+  std::fprintf(stderr, "measuring engine events/sec...\n");
+  const double inline_eps = MeasureEventsPerSec(/*heap_path=*/false);
+  const double heap_eps = MeasureEventsPerSec(/*heap_path=*/true);
+
+  constexpr std::size_t kJobs = 8;
+  const unsigned par_threads = util::ParallelRunner::DefaultThreads();
+  std::fprintf(stderr,
+               "timing %zu mini-campaigns at 1 and %u threads...\n", kJobs,
+               par_threads);
+  const CampaignTiming serial = TimeCampaigns(1, kJobs);
+  const CampaignTiming parallel = TimeCampaigns(par_threads, kJobs);
+  const bool identical = serial.hashes == parallel.hashes;
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"engine\": {\n");
+  std::fprintf(f, "    \"schedule_fire_events_per_sec\": %.0f,\n", inline_eps);
+  std::fprintf(f, "    \"schedule_fire_heap_events_per_sec\": %.0f\n",
+               heap_eps);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"campaign_fanout\": {\n");
+  std::fprintf(f, "    \"jobs\": %zu,\n", kJobs);
+  std::fprintf(f, "    \"wall_sec_1_thread\": %.3f,\n", serial.wall_sec);
+  std::fprintf(f, "    \"threads\": %u,\n", par_threads);
+  std::fprintf(f, "    \"wall_sec_n_threads\": %.3f,\n", parallel.wall_sec);
+  std::fprintf(f, "    \"speedup\": %.2f,\n",
+               parallel.wall_sec > 0 ? serial.wall_sec / parallel.wall_sec
+                                     : 0.0);
+  std::fprintf(f, "    \"results_identical\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (results_identical=%s)\n", path,
+               identical ? "true" : "false");
+}
+
 }  // namespace
 }  // namespace grunt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* skip = std::getenv("GRUNT_BENCH_SKIP_JSON");
+  if (skip == nullptr || skip[0] == '\0' || skip[0] == '0') {
+    grunt::WriteEngineJson();
+  }
+  return 0;
+}

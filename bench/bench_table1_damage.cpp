@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "rig.h"
+#include "util/parallel_runner.h"
 
 int main() {
   using namespace grunt;
@@ -27,12 +28,29 @@ int main() {
                 "AvgRT att (ms)", "RT factor", "Bottleneck svc",
                 "Scale acts", "Attrib. alerts"});
 
-  for (const auto& setting : PaperSettings()) {
+  const auto settings = PaperSettings();
+  util::ParallelRunner pool;
+  for (const auto& setting : settings) {
     std::printf("running %s (%d users)...\n", setting.name.c_str(),
                 setting.users);
-    const CampaignResult r =
-        RunSocialNetworkCampaign(setting, /*attack_duration=*/Sec(60),
-                                 /*seed=*/1000 + setting.users);
+  }
+  std::fprintf(stderr, "dispatching %zu campaigns on %u threads\n",
+               settings.size(), pool.threads());  // stderr: stdout is
+                                                  // byte-stable per thread
+                                                  // count
+  // Campaigns are independent (each builds its own Simulation); results come
+  // back in settings order, so the tables below are identical at any thread
+  // count.
+  const auto results = pool.Map<CampaignResult>(
+      settings.size(), [&settings](std::size_t i) {
+        return RunSocialNetworkCampaign(settings[i],
+                                        /*attack_duration=*/Sec(60),
+                                        /*seed=*/1000 + settings[i].users);
+      });
+
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    const auto& setting = settings[i];
+    const CampaignResult& r = results[i];
     table1.AddRow({setting.name, Table::Num(r.base_rt_ms.mean()),
                    Table::Num(r.att_rt_ms.mean()),
                    Table::Num(r.base_rt_ms.Percentile(95)),

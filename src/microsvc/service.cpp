@@ -10,7 +10,7 @@ Service::Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id)
     : sim_(sim), spec_(std::move(spec)), id_(id),
       replicas_(spec_.initial_replicas) {}
 
-bool Service::AcquireSlot(std::function<void()> on_granted) {
+bool Service::AcquireSlot(sim::InplaceFunction on_granted) {
   if (slots_in_use_ < threads()) {
     ++slots_in_use_;
     // Fire via an event to flatten recursion and keep ordering deterministic.
@@ -48,8 +48,8 @@ std::int64_t Service::CumBusyCoreTime() {
   return busy_integral_;
 }
 
-void Service::RunCpu(SimDuration demand, std::function<void()> done,
-                     std::function<void()> on_killed) {
+void Service::RunCpu(SimDuration demand, sim::InplaceFunction done,
+                     sim::InplaceFunction on_killed) {
   if (demand_factor_ != 1.0) {
     demand = static_cast<SimDuration>(
         std::llround(static_cast<double>(demand) * demand_factor_));
@@ -66,18 +66,24 @@ void Service::StartBurst(CpuBurst burst) {
   AccumulateBusy();
   ++cpu_busy_;
   const std::uint64_t bid = next_burst_id_++;
-  auto event = sim_.After(
-      burst.demand, [this, bid, done = std::move(burst.done)]() mutable {
-        AccumulateBusy();
-        --cpu_busy_;
-        ++completed_bursts_;
-        running_.erase(std::find_if(
-            running_.begin(), running_.end(),
-            [bid](const RunningBurst& r) { return r.id == bid; }));
-        done();
-        MaybeStartCpu();
-      });
-  running_.push_back({bid, event, std::move(burst.on_killed)});
+  // The completion callbacks stay in the running_ entry so the event
+  // closure is two words — small enough for the engine's inline buffer.
+  auto event = sim_.After(burst.demand, [this, bid] { FinishBurst(bid); });
+  running_.push_back(
+      {bid, event, std::move(burst.done), std::move(burst.on_killed)});
+}
+
+void Service::FinishBurst(std::uint64_t bid) {
+  AccumulateBusy();
+  --cpu_busy_;
+  ++completed_bursts_;
+  const auto it =
+      std::find_if(running_.begin(), running_.end(),
+                   [bid](const RunningBurst& r) { return r.id == bid; });
+  sim::InplaceFunction done = std::move(it->done);
+  running_.erase(it);
+  done();
+  MaybeStartCpu();
 }
 
 void Service::MaybeStartCpu() {

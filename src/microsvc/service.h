@@ -45,7 +45,7 @@ class Service {
   /// one is available. FIFO among waiters. Returns false — and does NOT
   /// enqueue the callback — when admission control rejects the arrival
   /// (bounded queue full). Always true with an unbounded queue.
-  bool AcquireSlot(std::function<void()> on_granted);
+  bool AcquireSlot(sim::InplaceFunction on_granted);
 
   /// Releases a slot previously granted; wakes the next waiter if any.
   void ReleaseSlot();
@@ -55,8 +55,8 @@ class Service {
   /// completes immediately (still via an event, for deterministic ordering).
   /// `on_killed` (optional) fires instead of `done` if a replica crash kills
   /// the burst while it is running or queued.
-  void RunCpu(SimDuration demand, std::function<void()> done,
-              std::function<void()> on_killed = nullptr);
+  void RunCpu(SimDuration demand, sim::InplaceFunction done,
+              sim::InplaceFunction on_killed = nullptr);
 
   // --- scaling (used by the autoscaler) ---
   void AddReplica();
@@ -112,13 +112,14 @@ class Service {
  private:
   struct CpuBurst {
     SimDuration demand;
-    std::function<void()> done;
-    std::function<void()> on_killed;
+    sim::InplaceFunction done;
+    sim::InplaceFunction on_killed;
   };
   struct RunningBurst {
     std::uint64_t id;
     sim::EventHandle event;
-    std::function<void()> on_killed;
+    sim::InplaceFunction done;
+    sim::InplaceFunction on_killed;
   };
   struct BreakerState {
     std::int32_t consecutive_failures = 0;
@@ -128,6 +129,7 @@ class Service {
   void AccumulateBusy();
   void MaybeStartCpu();
   void StartBurst(CpuBurst burst);
+  void FinishBurst(std::uint64_t bid);
   void AdmitWaiters();
 
   sim::Simulation& sim_;
@@ -137,7 +139,7 @@ class Service {
   double demand_factor_ = 1.0;
 
   std::int32_t slots_in_use_ = 0;
-  std::deque<std::function<void()>> slot_waiters_;
+  std::deque<sim::InplaceFunction> slot_waiters_;
 
   std::int32_t cpu_busy_ = 0;
   std::deque<CpuBurst> cpu_queue_;

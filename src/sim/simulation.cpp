@@ -7,66 +7,247 @@
 namespace grunt::sim {
 
 void EventHandle::Cancel() {
-  if (state_) state_->cancelled = true;
+  if (sim_ != nullptr) sim_->CancelSlot(slot_, gen_);
 }
 
 bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return sim_ != nullptr && sim_->SlotPending(slot_, gen_);
 }
 
-EventHandle Simulation::At(SimTime at, std::function<void()> fn) {
-  if (at < now_) {
-    throw std::invalid_argument("Simulation::At: time in the past");
+std::uint32_t Simulation::AllocSlot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t id = free_head_;
+    SlotMeta& m = metas_[id];
+    free_head_ = m.aux;  // aux holds the next free index while on the list
+    m.aux = 0;
+    return id;
   }
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Event{at, next_seq_++, std::move(fn), state});
-  return EventHandle(std::move(state));
+  const std::uint32_t id = static_cast<std::uint32_t>(metas_.size());
+  if (id % kSlotsPerChunk == 0) {
+    if (id == 0) {
+      // One chunk's worth up front spares the first few hundred events the
+      // doubling reallocations of metas_ and heap_.
+      metas_.reserve(kSlotsPerChunk);
+      heap_.reserve(kSlotsPerChunk);
+    }
+    fn_chunks_.push_back(std::make_unique<InplaceFunction[]>(kSlotsPerChunk));
+  }
+  metas_.emplace_back();
+  return id;
 }
 
-EventHandle Simulation::After(SimDuration delay, std::function<void()> fn) {
+void Simulation::FreeSlot(std::uint32_t id) {
+  fn_slot(id).Reset();
+  SlotMeta& m = metas_[id];
+  m.period = 0;
+  ++m.gen;  // invalidates every outstanding handle and queue entry
+  m.aux = free_head_;
+  free_head_ = id;
+}
+
+void Simulation::PushEntry(SimTime time, std::uint32_t slot_id,
+                           std::uint32_t gen) {
+  heap_.push_back(QEntry{time, next_seq_++, slot_id, gen});
+  SiftUp(heap_.size() - 1);
+}
+
+void Simulation::SiftUp(std::size_t i) {
+  const QEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!EarlierKey(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::SiftDown(std::size_t i) {
+  const QEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (EarlierKey(heap_[c], heap_[best])) best = c;
+    }
+    if (!EarlierKey(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::PopTop() {
+  // Bottom-up pop: sink the hole to a leaf picking the min child at each
+  // level (no compare against the displaced back element on the way down),
+  // then drop the back element into the hole and bubble it up the rare
+  // level or two it belongs higher. Fewer compares and better-predicted
+  // branches than the textbook sift-down for pop-heavy workloads.
+  const QEntry back = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  QEntry* const h = heap_.data();
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = hole * 4 + 1;
+    if (first + 4 <= n) {
+      // Full node: tournament min-of-4. The two first-round compares are
+      // independent and the index selects compile to conditional moves, so
+      // the descent has one data-dependent branch per level instead of
+      // three.
+      const std::size_t b01 = first + (EarlierKey(h[first + 1], h[first]));
+      const std::size_t b23 =
+          first + 2 + (EarlierKey(h[first + 3], h[first + 2]));
+      const std::size_t best = EarlierKey(h[b23], h[b01]) ? b23 : b01;
+      h[hole] = h[best];
+      hole = best;
+      continue;
+    }
+    if (first >= n) break;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < n; ++c) {
+      if (EarlierKey(h[c], h[best])) best = c;
+    }
+    h[hole] = h[best];
+    hole = best;
+  }
+  // Bubble `back` up from the leaf hole.
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (!EarlierKey(back, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = back;
+}
+
+void Simulation::ThrowPastTime() {
+  throw std::invalid_argument("Simulation::At: time in the past");
+}
+
+void Simulation::ThrowBadPeriod() {
+  throw std::invalid_argument("Simulation::Every: period<=0");
+}
+
+EventHandle Simulation::FinishSchedule(SimTime time, std::uint32_t id,
+                                       SimDuration period) {
+  SlotMeta& m = metas_[id];
+  if (period > 0) m.period = period;  // freed slots already carry period 0
+  ++stats_.events_scheduled;
+  stats_.inline_callbacks += fn_slot(id).is_inline() ? 1 : 0;
+  const std::uint32_t gen = m.gen;
+  PushEntry(time, id, gen);
+  return EventHandle(this, id, gen);
+}
+
+EventHandle Simulation::At(SimTime at, InplaceFunction fn) {
+  if (at < now_) ThrowPastTime();
+  const std::uint32_t id = AllocSlot();
+  fn_slot(id) = std::move(fn);
+  return FinishSchedule(at, id, /*period=*/0);
+}
+
+EventHandle Simulation::After(SimDuration delay, InplaceFunction fn) {
   return At(now_ + std::max<SimDuration>(0, delay), std::move(fn));
 }
 
-EventHandle Simulation::Every(SimDuration period, std::function<void()> fn) {
-  if (period <= 0) throw std::invalid_argument("Simulation::Every: period<=0");
-  auto state = std::make_shared<EventHandle::State>();
-  // Self-rescheduling repeater; stops once the shared handle is cancelled.
-  struct Repeater {
-    Simulation* sim;
-    SimDuration period;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
-    void Arm() {
-      auto self = *this;
-      sim->At(sim->Now() + period, [self]() mutable {
-        if (self.state->cancelled) return;
-        self.fn();
-        if (!self.state->cancelled) self.Arm();
-      });
+EventHandle Simulation::Every(SimDuration period, InplaceFunction fn) {
+  if (period <= 0) ThrowBadPeriod();
+  const std::uint32_t id = AllocSlot();
+  fn_slot(id) = std::move(fn);
+  return FinishSchedule(now_ + period, id, period);
+}
+
+void Simulation::PurgeTop() {
+  while (!heap_.empty()) {
+    const QEntry e = heap_.front();
+    const SlotMeta& m = metas_[e.slot];
+    if (m.gen == e.gen && (m.aux & kAuxCancelled) == 0) return;
+    PopTop();
+    if (m.gen == e.gen) {
+      --cancelled_in_heap_;
+      ++stats_.cancelled_popped;
+      FreeSlot(e.slot);
     }
-  };
-  Repeater{this, period, std::move(fn), state}.Arm();
-  return EventHandle(std::move(state));
+  }
+}
+
+void Simulation::MaybeCompact() {
+  if (heap_.size() < kCompactMinHeap ||
+      cancelled_in_heap_ * 2 <= heap_.size()) {
+    return;
+  }
+  auto keep = heap_.begin();
+  for (auto it = heap_.begin(); it != heap_.end(); ++it) {
+    const SlotMeta& m = metas_[it->slot];
+    if (m.gen == it->gen && (m.aux & kAuxCancelled) == 0) {
+      *keep++ = *it;
+    } else {
+      if (m.gen == it->gen) FreeSlot(it->slot);
+      ++stats_.cancelled_purged;
+    }
+  }
+  heap_.erase(keep, heap_.end());
+  if (!heap_.empty()) {
+    for (std::size_t i = (heap_.size() - 1) / 4 + 1; i-- > 0;) SiftDown(i);
+  }
+  cancelled_in_heap_ = 0;
+  ++stats_.compactions;
 }
 
 bool Simulation::FireNext() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.state->cancelled) continue;
-    now_ = ev.time;
-    ev.state->fired = true;
-    ev.fn();
+  if (cancelled_in_heap_ != 0) PurgeTop();
+  if (heap_.empty()) return false;
+  const QEntry e = heap_.front();
+  PopTop();
+  now_ = e.time;
+  // metas_ can grow (and move) inside the callback; re-index after calling.
+  // Closure storage is chunked and therefore address-stable throughout.
+  const SimDuration period = metas_[e.slot].period;
+  if (period > 0) {
+    // Repeating event: the closure stays in its slot for the whole series
+    // and is invoked in place — no copy, no allocation per tick.
+    const std::uint32_t prev_firing = firing_slot_;  // tolerate re-entrant Run
+    firing_slot_ = e.slot;
+    fn_slot(e.slot)();
+    firing_slot_ = prev_firing;
     ++events_fired_;
-    return true;
+    SlotMeta& m = metas_[e.slot];
+    if ((m.aux & kAuxCancelled) == 0) {
+      // Re-arm after the callback so events it scheduled get earlier
+      // sequence numbers (same ordering as a fire-then-reschedule chain).
+      PushEntry(now_ + period, e.slot, m.gen);
+    } else {
+      FreeSlot(e.slot);
+    }
+  } else {
+    // One-shot: invalidate the handles up front (pending() is false inside
+    // the callback, as with the old fired flag), invoke in place, then
+    // recycle the slot. The slot cannot be reused mid-callback because it
+    // only joins the free list after the callback returns.
+    ++metas_[e.slot].gen;
+    InplaceFunction& f = fn_slot(e.slot);
+    f();
+    ++events_fired_;
+    f.Reset();
+    SlotMeta& m = metas_[e.slot];
+    m.aux = free_head_;
+    free_head_ = e.slot;
   }
-  return false;
+  return true;
 }
 
 std::uint64_t Simulation::RunUntil(SimTime until) {
   stop_requested_ = false;
   std::uint64_t fired = 0;
-  while (!stop_requested_ && !queue_.empty() && queue_.top().time <= until) {
+  for (;;) {
+    if (stop_requested_) break;
+    if (cancelled_in_heap_ != 0) PurgeTop();
+    if (heap_.empty() || heap_.front().time > until) break;
     if (FireNext()) ++fired;
   }
   if (!stop_requested_) now_ = std::max(now_, until);
@@ -78,6 +259,33 @@ std::uint64_t Simulation::RunAll() {
   std::uint64_t fired = 0;
   while (!stop_requested_ && FireNext()) ++fired;
   return fired;
+}
+
+void Simulation::CancelSlot(std::uint32_t slot_id, std::uint32_t gen) {
+  if (slot_id >= metas_.size()) return;
+  SlotMeta& m = metas_[slot_id];
+  if (m.gen != gen || (m.aux & kAuxCancelled) != 0) return;
+  m.aux |= kAuxCancelled;
+  // A live slot has a heap entry unless it is the repeating event whose
+  // callback is currently running; that one is released by FireNext after
+  // the callback returns.
+  if (slot_id != firing_slot_) {
+    ++cancelled_in_heap_;
+    MaybeCompact();
+  }
+}
+
+bool Simulation::SlotPending(std::uint32_t slot_id, std::uint32_t gen) const {
+  if (slot_id >= metas_.size()) return false;
+  const SlotMeta& m = metas_[slot_id];
+  return m.gen == gen && (m.aux & kAuxCancelled) == 0;
+}
+
+Simulation::EngineStats Simulation::stats() const {
+  EngineStats out = stats_;
+  out.heap_callbacks = out.events_scheduled - out.inline_callbacks;
+  out.slab_chunks = fn_chunks_.size();
+  return out;
 }
 
 }  // namespace grunt::sim

@@ -1,35 +1,46 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
+#include "sim/inplace_function.h"
 #include "util/time_types.h"
 
 namespace grunt::sim {
 
+class Simulation;
+
 /// Handle to a scheduled event; allows cancellation. Copyable; all copies
-/// refer to the same event.
+/// refer to the same event. A handle is a (slot, generation) ticket into the
+/// simulation's event arena: once the event fires (or its slot is recycled)
+/// the generation no longer matches and the handle becomes inert, so stale
+/// handles can never cancel an unrelated later event.
+///
+/// Handles must not outlive the Simulation they came from.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancels the event if it has not fired yet. Idempotent.
+  /// Cancels the event if it has not fired yet. For repeating events
+  /// (Simulation::Every) this stops the whole series. Idempotent.
   void Cancel();
 
-  /// True if the event is still pending (scheduled, not fired, not cancelled).
+  /// True if the event is still pending (scheduled, not fired, not
+  /// cancelled). A repeating event stays pending until cancelled.
   bool pending() const;
 
  private:
   friend class Simulation;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(Simulation* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulation* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Single-threaded discrete-event simulation core.
@@ -37,8 +48,26 @@ class EventHandle {
 /// Events scheduled for the same time fire in scheduling order (a
 /// monotonically increasing sequence number breaks ties), which makes runs
 /// fully deterministic.
+///
+/// The hot path is allocation-free: event closures live in slab-allocated
+/// chunks (small-buffer-optimized, see InplaceFunction), the priority queue
+/// is a 4-ary heap of 24-byte POD entries over a dense 16-byte-per-slot
+/// metadata array, and cancellation uses generation counters instead of
+/// shared control blocks. Periodic events (Every) keep their callback in one
+/// slot for the lifetime of the series and re-arm in place.
 class Simulation {
  public:
+  /// Allocation/cancellation counters for the engine micro-benchmarks.
+  struct EngineStats {
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t inline_callbacks = 0;  ///< closures stored in the slot SBO
+    std::uint64_t heap_callbacks = 0;    ///< closures that spilled to heap
+    std::uint64_t cancelled_popped = 0;  ///< cancelled entries dropped at pop
+    std::uint64_t cancelled_purged = 0;  ///< removed by lazy compaction
+    std::uint64_t compactions = 0;
+    std::size_t slab_chunks = 0;
+  };
+
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -46,14 +75,46 @@ class Simulation {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` at absolute time `at` (must be >= Now()).
-  EventHandle At(SimTime at, std::function<void()> fn);
+  EventHandle At(SimTime at, InplaceFunction fn);
 
   /// Schedules `fn` after `delay` (clamped to >= 0) from Now().
-  EventHandle After(SimDuration delay, std::function<void()> fn);
+  EventHandle After(SimDuration delay, InplaceFunction fn);
 
   /// Schedules `fn` to run every `period`, first firing at Now() + `period`.
-  /// Cancelling the returned handle stops the series.
-  EventHandle Every(SimDuration period, std::function<void()> fn);
+  /// The callback is stored once for the whole series (never copied per
+  /// tick) and the event re-arms in place without allocating. Cancelling the
+  /// returned handle stops the series.
+  EventHandle Every(SimDuration period, InplaceFunction fn);
+
+  /// Zero-copy overloads: a raw callable is constructed directly into its
+  /// event slot (one placement-new; no InplaceFunction temporary, no
+  /// relocation). This is the path every `sim.After(d, [..]{...})` call
+  /// takes.
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  EventHandle At(SimTime at, F&& fn) {
+    if (at < now_) {
+      ThrowPastTime();
+    }
+    const std::uint32_t id = AllocSlot();
+    fn_slot(id).Emplace(std::forward<F>(fn));
+    return FinishSchedule(at, id, /*period=*/0);
+  }
+
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  EventHandle After(SimDuration delay, F&& fn) {
+    return At(now_ + std::max<SimDuration>(0, delay), std::forward<F>(fn));
+  }
+
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  EventHandle Every(SimDuration period, F&& fn) {
+    if (period <= 0) ThrowBadPeriod();
+    const std::uint32_t id = AllocSlot();
+    fn_slot(id).Emplace(std::forward<F>(fn));
+    return FinishSchedule(now_ + period, id, period);
+  }
 
   /// Runs until the event queue drains or `until` is reached, whichever is
   /// first. The clock is advanced to `until` on return if the queue drained
@@ -67,29 +128,97 @@ class Simulation {
   void Stop() { stop_requested_ = true; }
 
   std::uint64_t events_fired() const { return events_fired_; }
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Number of live (not cancelled) scheduled events.
+  std::size_t pending_events() const {
+    return heap_.size() - cancelled_in_heap_;
+  }
+  EngineStats stats() const;
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  /// Dense per-slot bookkeeping, separate from the (much larger) closure
+  /// storage so the queue's gen checks and the free list stay cache-hot.
+  /// `aux` is dual-use: flag bits while the slot is live, the next free
+  /// slot index while it sits on the free list.
+  struct SlotMeta {
+    std::uint32_t gen = 1;
+    std::uint32_t aux = 0;
+    SimDuration period = 0;  ///< > 0: repeating event (Every)
+  };
+  static constexpr std::uint32_t kAuxCancelled = 1;
+
+  /// Priority-queue entry: POD, cheap to sift. `gen` guards against slot
+  /// recycling (an entry whose generation no longer matches is dead).
+  struct QEntry {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  // Composing the (time, seq) key into a single 128-bit compare keeps the
+  // sift loops branch-predictable (one cmp/sbb pair instead of a nested
+  // data-dependent branch on time equality).
+  static unsigned __int128 Key(const QEntry& e) {
+    return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(e.time))
+            << 64) |
+           e.seq;
+  }
+  static bool EarlierKey(const QEntry& a, const QEntry& b) {
+    return Key(a) < Key(b);
+  }
 
+  static constexpr std::uint32_t kNilSlot =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint32_t kSlotsPerChunk = 256;
+  /// Compaction only kicks in for queues at least this large; below that the
+  /// normal pop path drains cancelled entries quickly enough.
+  static constexpr std::size_t kCompactMinHeap = 64;
+
+  InplaceFunction& fn_slot(std::uint32_t id) {
+    return fn_chunks_[id / kSlotsPerChunk][id % kSlotsPerChunk];
+  }
+
+  std::uint32_t AllocSlot();
+  void FreeSlot(std::uint32_t id);
+  /// Common tail of At/Every once the closure sits in slot `id`: bumps the
+  /// stats, records the period, queues the entry, returns the handle.
+  EventHandle FinishSchedule(SimTime time, std::uint32_t id,
+                             SimDuration period);
+  [[noreturn]] static void ThrowPastTime();
+  [[noreturn]] static void ThrowBadPeriod();
+  void PushEntry(SimTime time, std::uint32_t slot_id, std::uint32_t gen);
+  // 4-ary min-heap over heap_ (shallower and more cache-friendly than a
+  // binary heap; the sift loops are the engine's hottest code).
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  void PopTop();
+  /// Drops cancelled/stale entries from the top of the heap.
+  void PurgeTop();
+  /// Removes all cancelled/stale entries when they outnumber live ones.
+  void MaybeCompact();
   bool FireNext();
+
+  void CancelSlot(std::uint32_t slot_id, std::uint32_t gen);
+  bool SlotPending(std::uint32_t slot_id, std::uint32_t gen) const;
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_fired_ = 0;
   bool stop_requested_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  std::vector<SlotMeta> metas_;
+  std::vector<std::unique_ptr<InplaceFunction[]>> fn_chunks_;
+  std::uint32_t free_head_ = kNilSlot;
+  /// Repeating slot whose callback is on the stack right now (kNilSlot
+  /// otherwise). A live slot is in the heap unless it is this one, which
+  /// spares PushEntry/FireNext an in-heap flag update per event.
+  std::uint32_t firing_slot_ = kNilSlot;
+
+  std::vector<QEntry> heap_;  ///< 4-ary min-heap ordered by (time, seq)
+  std::size_t cancelled_in_heap_ = 0;
+
+  EngineStats stats_;
 };
 
 }  // namespace grunt::sim

@@ -1,0 +1,68 @@
+#include "util/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace grunt::util {
+
+unsigned ParallelRunner::DefaultThreads() {
+  if (const char* env = std::getenv("GRUNT_BENCH_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ParallelRunner::ParallelRunner(unsigned threads)
+    : threads_(threads > 0 ? threads : DefaultThreads()) {}
+
+void ParallelRunner::ForEachIndex(
+    std::size_t n, const std::function<void(std::size_t)>& job) {
+  if (n == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+  if (workers <= 1) {
+    // Serial fast path: no pool, same index order and exception behavior
+    // (the lowest failing index throws first by construction).
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        job(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread pulls its weight
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace grunt::util

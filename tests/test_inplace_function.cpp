@@ -1,0 +1,164 @@
+#include "sim/inplace_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace grunt::sim {
+namespace {
+
+TEST(InplaceFunction, DefaultAndNullptrAreEmpty) {
+  InplaceFunction empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  InplaceFunction null = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null));
+}
+
+TEST(InplaceFunction, InvokesStoredCallable) {
+  int hits = 0;
+  InplaceFunction f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, SboBoundaryAtInlineCapacity) {
+  // Exactly kInlineCapacity bytes of capture state stays inline; one byte
+  // more spills to the heap. The engine's stats and allocation behavior
+  // depend on this boundary, so pin it.
+  std::array<char, InplaceFunction::kInlineCapacity - sizeof(void*)> pad{};
+  int sink = 0;
+  InplaceFunction at_boundary = [pad, psink = &sink] {
+    *psink += pad[0];
+  };
+  EXPECT_TRUE(at_boundary.is_inline());
+
+  std::array<char, InplaceFunction::kInlineCapacity + 1> big{};
+  InplaceFunction over_boundary = [big, psink = &sink] { *psink += big[0]; };
+  ASSERT_TRUE(static_cast<bool>(over_boundary));
+  EXPECT_FALSE(over_boundary.is_inline());
+  over_boundary();  // heap path must still invoke correctly
+  EXPECT_EQ(sink, 0);
+}
+
+TEST(InplaceFunction, OverAlignedCallableTakesHeapPath) {
+  struct alignas(4 * alignof(void*)) OverAligned {
+    double v = 1.0;
+    void operator()() { v += 1.0; }
+  };
+  static_assert(alignof(OverAligned) > InplaceFunction::kInlineAlign);
+  InplaceFunction f = OverAligned{};
+  EXPECT_FALSE(f.is_inline());
+  f();
+}
+
+TEST(InplaceFunction, ThrowingMoveCallableTakesHeapPath) {
+  // A callable whose move can throw would make our noexcept move lie, so it
+  // must live on the heap (where moving the wrapper only moves a pointer).
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&&) noexcept(false) {}
+    void operator()() {}
+  };
+  InplaceFunction f = ThrowingMove{};
+  EXPECT_FALSE(f.is_inline());
+}
+
+TEST(InplaceFunction, MoveTransfersStateAndEmptiesSource) {
+  int hits = 0;
+  InplaceFunction a = [&hits] { ++hits; };
+  InplaceFunction b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InplaceFunction c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, SupportsMoveOnlyCallables) {
+  auto owned = std::make_unique<int>(41);
+  InplaceFunction f = [p = std::move(owned)] { ++*p; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+}
+
+TEST(InplaceFunction, DestroysCallableExactlyOnce) {
+  static int live = 0;
+  struct Tracked {
+    bool owner = true;
+    Tracked() { ++live; }
+    Tracked(Tracked&& o) noexcept {
+      ++live;
+      o.owner = false;
+    }
+    Tracked(const Tracked& o) = delete;
+    ~Tracked() { --live; }
+    void operator()() {}
+  };
+  live = 0;
+  {
+    InplaceFunction f = Tracked{};
+    EXPECT_EQ(live, 1);
+    InplaceFunction g = std::move(f);
+    EXPECT_EQ(live, 1);
+    g.Reset();
+    EXPECT_EQ(live, 0);
+    g.Reset();  // idempotent
+    EXPECT_EQ(live, 0);
+  }
+  EXPECT_EQ(live, 0);
+
+  // Heap-path variant.
+  struct BigTracked : Tracked {
+    char pad[InplaceFunction::kInlineCapacity] = {};
+    void operator()() {}
+  };
+  live = 0;
+  {
+    InplaceFunction f = BigTracked{};
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(live, 1);
+    InplaceFunction g = std::move(f);
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InplaceFunction, EmplaceReplacesExistingCallable) {
+  int first = 0, second = 0;
+  InplaceFunction f = [&first] { ++first; };
+  f.Emplace([&second] { ++second; });
+  f();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InplaceFunction, MoveAssignDestroysPreviousTarget) {
+  static int live = 0;
+  struct Tracked {
+    Tracked() { ++live; }
+    Tracked(Tracked&&) noexcept { ++live; }
+    ~Tracked() { --live; }
+    void operator()() {}
+  };
+  live = 0;
+  InplaceFunction a = Tracked{};
+  InplaceFunction b = Tracked{};
+  EXPECT_EQ(live, 2);
+  a = std::move(b);
+  EXPECT_EQ(live, 1);
+  a.Reset();
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace grunt::sim

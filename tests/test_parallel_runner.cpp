@@ -1,0 +1,89 @@
+#include "util/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace grunt::util {
+namespace {
+
+TEST(ParallelRunner, RunsEveryIndexExactlyOnce) {
+  ParallelRunner pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ForEachIndex(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunner, MapReturnsResultsInIndexOrder) {
+  ParallelRunner pool(8);
+  const auto out =
+      pool.Map<std::size_t>(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelRunner, ResultsIdenticalAcrossThreadCounts) {
+  // The whole point of the runner: campaign fan-out must not change the
+  // collected results, whatever the pool size.
+  const auto job = [](std::size_t i) {
+    // Deterministic per-index pseudo-work (splitmix64 step).
+    std::uint64_t x = static_cast<std::uint64_t>(i) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  const auto t1 = ParallelRunner(1).Map<std::uint64_t>(64, job);
+  const auto t2 = ParallelRunner(2).Map<std::uint64_t>(64, job);
+  const auto t8 = ParallelRunner(8).Map<std::uint64_t>(64, job);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(ParallelRunner, HandlesZeroAndFewerJobsThanThreads) {
+  ParallelRunner pool(8);
+  pool.ForEachIndex(0, [](std::size_t) { FAIL() << "no jobs to run"; });
+  const auto out = pool.Map<int>(3, [](std::size_t i) {
+    return static_cast<int>(i) + 1;
+  });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParallelRunner, RethrowsLowestIndexException) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ParallelRunner pool(threads);
+    std::atomic<int> completed{0};
+    try {
+      pool.ForEachIndex(32, [&](std::size_t i) {
+        if (i == 7 || i == 21) {
+          throw std::runtime_error("job " + std::to_string(i));
+        }
+        ++completed;
+      });
+      FAIL() << "expected an exception at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 7") << "at " << threads << " threads";
+    }
+    if (threads > 1) {
+      // Remaining jobs still ran despite the failures.
+      EXPECT_EQ(completed.load(), 30) << "at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelRunner, DefaultThreadsHonorsEnvOverride) {
+  ::setenv("GRUNT_BENCH_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(ParallelRunner::DefaultThreads(), 3u);
+  EXPECT_EQ(ParallelRunner(0).threads(), 3u);
+  ::setenv("GRUNT_BENCH_THREADS", "garbage", 1);
+  EXPECT_GE(ParallelRunner::DefaultThreads(), 1u);
+  ::unsetenv("GRUNT_BENCH_THREADS");
+  EXPECT_GE(ParallelRunner::DefaultThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace grunt::util
