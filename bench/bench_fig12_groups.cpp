@@ -7,19 +7,28 @@
 // precision/recall at moderate load.
 
 #include <cstdio>
+#include <utility>
 
 #include "rig.h"
+#include "scenario/builtin_apps.h"
 #include "trace/dependency.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace grunt;
   using namespace grunt::bench;
+
+  // The whole figure is app-generic: --scenario profiles any other topology
+  // (builtin name or spec file) instead of the default SocialNetwork.
+  auto sargs = ParseScenarioArgs(argc, argv);
+  if (sargs.should_exit) return sargs.exit_code;
+  const scenario::ScenarioSpec spec =
+      sargs.scenario ? std::move(*sargs.scenario)
+                     : scenario::SocialNetworkScenario();
 
   Banner("Fig 12: dependency groups — admin view vs attacker view",
          "3 dependency groups recovered via pairwise interference profiling");
 
-  const CloudSetting setting{"EC2-7K", 7000, 1.0, 1};
-  SocialNetworkRig rig(setting, 11);
+  ScenarioRig rig(spec, 11);
   rig.RunUntil(Sec(15));
   const auto& app = rig.app();
 
@@ -34,7 +43,7 @@ int main() {
   }
 
   // --- ground truth (Jaeger+Collectl role) ---
-  trace::GroundTruth truth(app, SocialNetworkRates(app, setting.users));
+  trace::GroundTruth truth(app, ScenarioRates(app, spec.workload));
 
   // --- Fig 12(b)+(c): blackbox profiling ---
   attack::BotFarm bots({});

@@ -17,7 +17,11 @@
 using namespace grunt;
 using namespace grunt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sargs = ParseScenarioArgs(argc, argv);
+  if (sargs.should_exit) return sargs.exit_code;
+  if (sargs.scenario) return RunScenarioBench(*sargs.scenario, 77);
+
   Banner("Extension: Grunt vs a HotelReservation-style application",
          "the pipeline generalizes: groups recovered, >10x damage, stealthy");
 

@@ -13,9 +13,15 @@
 #include "rig.h"
 #include "util/parallel_runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace grunt;
   using namespace grunt::bench;
+
+  // --scenario swaps the whole experiment for a one-scenario campaign; the
+  // flag-less run below is byte-stable against the pre-scenario-layer output.
+  auto sargs = ParseScenarioArgs(argc, argv);
+  if (sargs.should_exit) return sargs.exit_code;
+  if (sargs.scenario) return RunScenarioBench(*sargs.scenario);
 
   Banner("Table I + Table III: Grunt damage across cloud settings",
          "avg RT >10x, 95ile >20x; extra CPU <20pp, extra traffic small; "

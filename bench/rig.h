@@ -18,6 +18,7 @@
 #include "cloud/ids.h"
 #include "cloud/monitor.h"
 #include "microsvc/cluster.h"
+#include "scenario/registry.h"
 #include "sim/simulation.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -101,6 +102,82 @@ CampaignResult RunSocialNetworkCampaign(
     const CloudSetting& setting, SimDuration attack_duration,
     std::uint64_t seed, attack::GruntConfig cfg = {},
     const attack::ProfileResult* profile = nullptr);
+
+/// A fully wired deployment of an arbitrary scenario spec: application from
+/// its topology section, closed- or open-loop workload from its workload
+/// section, operator stack from its operators section. Generalizes
+/// SocialNetworkRig to anything `--scenario=<name|file>` can name.
+class ScenarioRig {
+ public:
+  ScenarioRig(const scenario::ScenarioSpec& spec, std::uint64_t seed);
+
+  void RunUntil(SimTime until);
+  bool RunUntilFlag(const bool& flag, SimTime cap);
+
+  sim::Simulation& sim() { return sim_; }
+  const microsvc::Application& app() const { return app_; }
+  microsvc::Cluster& cluster() { return *cluster_; }
+  cloud::ResourceMonitor& cloudwatch() { return *cloudwatch_; }
+  cloud::ResourceMonitor& fine_monitor() { return *fine_; }
+  cloud::ResponseTimeMonitor& rt_monitor() { return *rt_; }
+  /// Null when the scenario disables the operator.
+  cloud::AutoScaler* autoscaler() { return scaler_.get(); }
+  cloud::Ids* ids() { return ids_.get(); }
+  attack::SimTargetClient& client() { return *client_; }
+
+  /// Hottest non-gateway service in [from, to) (the tables' representative
+  /// bottleneck). Gateways are recognized by their huge thread pools.
+  microsvc::ServiceId HottestBackend(SimTime from, SimTime to) const;
+
+ private:
+  sim::Simulation sim_;
+  microsvc::Application app_;
+  std::unique_ptr<microsvc::Cluster> cluster_;
+  std::unique_ptr<workload::ClosedLoopWorkload> closed_users_;
+  std::unique_ptr<workload::OpenLoopSource> open_source_;
+  std::unique_ptr<cloud::ResourceMonitor> cloudwatch_;
+  std::unique_ptr<cloud::ResourceMonitor> fine_;
+  std::unique_ptr<cloud::ResponseTimeMonitor> rt_;
+  std::unique_ptr<cloud::AutoScaler> scaler_;
+  std::unique_ptr<cloud::Ids> ids_;
+  std::unique_ptr<attack::SimTargetClient> client_;
+};
+
+/// Full Grunt campaign against an arbitrary scenario: baseline window,
+/// blackbox (or `profile`-seeded) attack, attack window. The scenario
+/// analogue of RunSocialNetworkCampaign.
+CampaignResult RunScenarioCampaign(const scenario::ScenarioSpec& spec,
+                                   SimDuration attack_duration,
+                                   std::uint64_t seed,
+                                   attack::GruntConfig cfg = {},
+                                   const attack::ProfileResult* profile =
+                                       nullptr);
+
+/// Per-type legit request rates implied by a scenario's workload section
+/// (closed-loop: users/think_mean split by mix weight; open-loop: rate split
+/// by mix weight). Ground-truth input for TruthProfile.
+std::vector<double> ScenarioRates(const microsvc::Application& app,
+                                  const scenario::WorkloadSpec& workload);
+
+/// Scenario selection shared by the bench binaries.
+struct ScenarioArgs {
+  /// Set when --scenario=<name|file> was given and resolved.
+  std::unique_ptr<scenario::ScenarioSpec> scenario;
+  bool should_exit = false;  ///< --list-scenarios handled, or resolve error
+  int exit_code = 0;
+};
+
+/// Parses `--scenario=<name|file>` / `--scenario <name|file>` and
+/// `--list-scenarios` out of argv. On --list-scenarios prints the registry
+/// catalogue; on a resolve failure prints the error to stderr. Other
+/// arguments are ignored (benches keep their own flags).
+ScenarioArgs ParseScenarioArgs(int argc, char** argv);
+
+/// The standard one-scenario campaign printout, used by the table benches
+/// when `--scenario` overrides their built-in experiment matrix: baseline
+/// vs attack RT/traffic/CPU plus the stealth columns. Returns an exit code.
+int RunScenarioBench(const scenario::ScenarioSpec& spec,
+                     std::uint64_t seed = 7);
 
 /// Ground-truth profile for any app under per-type rates (white-box; used
 /// by benches that study the attack itself rather than the profiler).

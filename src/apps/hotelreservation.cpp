@@ -1,191 +1,46 @@
 #include "apps/hotelreservation.h"
 
-#include <algorithm>
-#include <stdexcept>
+#include "scenario/builtin_apps.h"
+#include "scenario/loader.h"
+
+// The topology itself now lives in the declarative scenario layer
+// (scenario::HotelReservationScenario, shipped as
+// specs/hotelreservation.json); these factories are thin wrappers kept for
+// source compatibility.
 
 namespace grunt::apps {
 
 namespace {
 
-using microsvc::Hop;
-using microsvc::RequestTypeSpec;
-using microsvc::ServiceId;
-using microsvc::ServiceSpec;
-
-SimDuration D(double ms, double capacity_scale) {
-  return std::max<SimDuration>(
-      1, static_cast<SimDuration>(ms * 1000.0 / capacity_scale));
+scenario::DeploymentParams ToParams(const HotelReservationOptions& opts) {
+  scenario::DeploymentParams p;
+  p.replica_scale = opts.replica_scale;
+  p.capacity_scale = opts.capacity_scale;
+  p.dist = opts.dist;
+  p.default_rpc = opts.resilience.default_rpc;
+  p.max_queue_per_replica = opts.resilience.max_queue_per_replica;
+  p.breaker_threshold = opts.resilience.breaker_threshold;
+  p.breaker_cooldown = opts.resilience.breaker_cooldown;
+  return p;
 }
 
 }  // namespace
 
 microsvc::Application MakeHotelReservation(
     const HotelReservationOptions& opts) {
-  if (opts.replica_scale < 1 || opts.capacity_scale <= 0) {
-    throw std::invalid_argument("MakeHotelReservation: bad options");
-  }
-  microsvc::Application::Builder b;
-  b.SetName("hotelreservation")
-      .SetServiceTimeDist(opts.dist)
-      .SetNetLatency(Us(400));
-
-  const std::int32_t r = opts.replica_scale;
-  auto svc = [&](const char* name, std::int32_t threads, std::int32_t cores,
-                 std::int32_t replicas) {
-    ServiceSpec spec;
-    spec.name = name;
-    spec.threads_per_replica = threads;
-    spec.cores_per_replica = cores;
-    spec.initial_replicas = replicas;
-    spec.max_replicas = replicas * 8;
-    if (threads < 1024) {  // backends only; the gateway never sheds
-      spec.max_queue_per_replica = opts.resilience.max_queue_per_replica;
-      spec.breaker_threshold = opts.resilience.breaker_threshold;
-      spec.breaker_cooldown = opts.resilience.breaker_cooldown;
-    }
-    return b.AddService(spec);
-  };
-  if (opts.resilience.default_rpc) {
-    b.SetDefaultRpcPolicy(*opts.resilience.default_rpc);
-  }
-
-  const ServiceId frontend = svc("frontend", 4096, 16, 1);
-
-  // Search fan-in (group A; shared UM: search).
-  const ServiceId search = svc("search", 20, 4, r);
-  const ServiceId geo = svc("geo", 64, 2, r);
-  const ServiceId rate = svc("rate", 64, 2, r);
-  const ServiceId recommendation = svc("recommendation", 64, 2, r);
-  const ServiceId hotel_db = svc("hotel-db", 128, 4, r);
-  const ServiceId geo_cache = svc("geo-cache", 128, 2, r);
-  const ServiceId rate_cache = svc("rate-cache", 128, 2, r);
-
-  // Reservation fan-in (group B; shared UM: reservation).
-  const ServiceId reservation = svc("reservation", 20, 4, r);
-  const ServiceId availability = svc("availability", 64, 2, r);
-  const ServiceId payment = svc("payment", 64, 2, r);
-  const ServiceId booking_records = svc("booking-records", 64, 2, r);
-  const ServiceId booking_db = svc("booking-db", 128, 4, r);
-  const ServiceId payment_gateway = svc("payment-gateway", 128, 2, r);
-
-  // Independent paths + backends.
-  const ServiceId user = svc("user", 64, 2, r);
-  const ServiceId profile = svc("profile", 64, 2, r);
-  const ServiceId user_db = svc("user-db", 128, 2, r);
-  const ServiceId profile_db = svc("profile-db", 128, 2, r);
-
-  const double cs = opts.capacity_scale;
-  auto type = [&](const char* name, std::vector<Hop> hops, double heavy,
-                  std::int64_t req_bytes, std::int64_t resp_bytes) {
-    RequestTypeSpec spec;
-    spec.name = name;
-    spec.hops = std::move(hops);
-    spec.heavy_multiplier = heavy;
-    spec.request_bytes = req_bytes;
-    spec.response_bytes = resp_bytes;
-    return b.AddRequestType(spec);
-  };
-
-  // Group A: searches (distinct worker bottlenecks behind `search`).
-  type("search/nearby",
-       {{frontend, D(0.3, cs), 0},
-        {search, D(1.5, cs), D(0.6, cs)},
-        {geo, D(9.0, cs), D(0.8, cs)},
-        {geo_cache, D(0.8, cs), 0}},
-       1.6, 700, 9000);
-  type("search/rates",
-       {{frontend, D(0.3, cs), 0},
-        {search, D(1.5, cs), D(0.6, cs)},
-        {rate, D(10.0, cs), D(0.8, cs)},
-        {rate_cache, D(0.8, cs), 0}},
-       1.6, 700, 7000);
-  type("search/recommend",
-       {{frontend, D(0.3, cs), 0},
-        {search, D(1.5, cs), D(0.6, cs)},
-        {recommendation, D(10.5, cs), D(0.8, cs)},
-        {hotel_db, D(0.8, cs), 0}},
-       1.6, 700, 8000);
-  // The "upstream" member: a complex multi-criteria search that bottlenecks
-  // on the search frontend itself (sequential dependency source).
-  type("search/complex",
-       {{frontend, D(0.3, cs), 0},
-        {search, D(24.0, cs), D(1.5, cs)},
-        {hotel_db, D(1.0, cs), 0}},
-       1.6, 900, 11000);
-
-  // Group B: reservations.
-  type("reserve/availability",
-       {{frontend, D(0.3, cs), 0},
-        {reservation, D(1.5, cs), D(0.6, cs)},
-        {availability, D(9.5, cs), D(0.8, cs)},
-        {booking_db, D(0.8, cs), 0}},
-       1.6, 800, 3000);
-  type("reserve/book",
-       {{frontend, D(0.3, cs), 0},
-        {reservation, D(1.6, cs), D(0.7, cs)},
-        {payment, D(10.0, cs), D(0.8, cs)},
-        {payment_gateway, D(1.0, cs), 0}},
-       1.6, 1200, 1500);
-  type("reserve/history",
-       {{frontend, D(0.3, cs), 0},
-        {reservation, D(1.5, cs), D(0.6, cs)},
-        {booking_records, D(9.0, cs), D(0.8, cs)},
-        {booking_db, D(0.7, cs), 0}},
-       1.6, 600, 5000);
-
-  // Independent singleton paths.
-  type("user/login",
-       {{frontend, D(0.3, cs), 0},
-        {user, D(7.0, cs), D(0.8, cs)},
-        {user_db, D(0.6, cs), 0}},
-       1.5, 500, 900);
-  type("profile/view",
-       {{frontend, D(0.3, cs), 0},
-        {profile, D(8.0, cs), D(0.8, cs)},
-        {profile_db, D(0.7, cs), 0}},
-       1.6, 500, 6000);
-
-  {
-    RequestTypeSpec st;
-    st.name = "static/map-tile.png";
-    st.is_static = true;
-    st.request_bytes = 400;
-    st.response_bytes = 60000;
-    b.AddRequestType(st);
-  }
-
-  return std::move(b).Build();
+  return scenario::BuildApplication(
+      scenario::HotelReservationScenario(ToParams(opts)).topology);
 }
 
 workload::RequestMix HotelReservationMix(const microsvc::Application& app) {
-  workload::RequestMix mix;
-  auto add = [&](const char* name, double weight) {
-    auto id = app.FindRequestType(name);
-    if (!id) throw std::logic_error("HotelReservationMix: missing type");
-    mix.types.push_back(*id);
-    mix.weights.push_back(weight);
-  };
-  // Travel sites are browse-heavy: many searches per booking.
-  add("search/nearby", 16);
-  add("search/rates", 14);
-  add("search/recommend", 12);
-  add("search/complex", 6);
-  add("reserve/availability", 13);
-  add("reserve/book", 8);
-  add("reserve/history", 10);
-  add("user/login", 6);
-  add("profile/view", 8);
-  add("static/map-tile.png", 3);
-  return mix;
+  return scenario::BuildRequestMix(
+      app, scenario::HotelReservationScenario().workload);
 }
 
 workload::MarkovNavigator HotelReservationNavigator(
     const microsvc::Application& app) {
-  const workload::RequestMix mix = HotelReservationMix(app);
-  workload::MarkovNavigator nav;
-  nav.types = mix.types;
-  nav.transition.assign(mix.types.size(), mix.weights);
-  return nav;
+  return scenario::BuildNavigator(
+      app, scenario::HotelReservationScenario().workload);
 }
 
 }  // namespace grunt::apps

@@ -1,129 +1,29 @@
 #include "apps/mubench.h"
 
-#include <stdexcept>
-#include <string>
+#include "scenario/generate.h"
+#include "scenario/loader.h"
 
-#include "util/rng.h"
+// Generation itself now lives in the declarative scenario layer
+// (scenario::GenerateMubench, which emits a dump-able ScenarioSpec with the
+// same seeded draw order); this factory is a thin wrapper kept for source
+// compatibility.
 
 namespace grunt::apps {
 
-namespace {
-
-using microsvc::Hop;
-using microsvc::RequestTypeSpec;
-using microsvc::ServiceId;
-using microsvc::ServiceSpec;
-
-}  // namespace
-
 microsvc::Application MakeMuBench(const MuBenchOptions& opts) {
-  if (opts.services < 8 || opts.groups < 1 || opts.paths_per_group < 2) {
-    throw std::invalid_argument("MakeMuBench: bad options");
-  }
-  // Upper bound on services the embedded structure can consume (gateway +
-  // per-group UM/workers/stores/mids/audit + singletons).
-  const std::int32_t structural =
-      1 + opts.groups * (2 + 3 * opts.paths_per_group) +
-      2 * opts.singleton_paths;
-  if (opts.services < structural) {
-    throw std::invalid_argument(
-        "MakeMuBench: services too small for requested structure (need >= " +
-        std::to_string(structural) + ")");
-  }
-  RngStream rng(opts.seed, "mubench.topology");
-  microsvc::Application::Builder b;
-  b.SetName("mubench-" + std::to_string(opts.services) + "-s" +
-            std::to_string(opts.seed))
-      .SetServiceTimeDist(opts.dist)
-      .SetNetLatency(Us(400));
-
-  std::int32_t remaining = opts.services;
-  auto svc = [&](const std::string& name, std::int32_t threads,
-                 std::int32_t cores) {
-    ServiceSpec spec;
-    spec.name = name;
-    spec.threads_per_replica = threads;
-    spec.cores_per_replica = cores;
-    spec.initial_replicas = 1;
-    spec.max_replicas = 8;
-    if (threads < 1024) {  // backends only; the gateway never sheds
-      spec.max_queue_per_replica = opts.resilience.max_queue_per_replica;
-      spec.breaker_threshold = opts.resilience.breaker_threshold;
-      spec.breaker_cooldown = opts.resilience.breaker_cooldown;
-    }
-    --remaining;
-    return b.AddService(spec);
-  };
-  if (opts.resilience.default_rpc) {
-    b.SetDefaultRpcPolicy(*opts.resilience.default_rpc);
-  }
-
-  const ServiceId gateway = svc("gateway", 4096, 16);
-
-  auto light_demand = [&] { return Us(300 + rng.NextInt(0, 900)); };
-  auto heavy_demand = [&] { return Us(8000 + rng.NextInt(0, 3500)); };
-
-  std::int32_t type_count = 0;
-  auto add_type = [&](const std::string& name, std::vector<Hop> hops) {
-    RequestTypeSpec spec;
-    spec.name = name;
-    spec.hops = std::move(hops);
-    spec.heavy_multiplier = 1.6;
-    spec.request_bytes = 500 + rng.NextInt(0, 1500);
-    spec.response_bytes = 1000 + rng.NextInt(0, 9000);
-    ++type_count;
-    return b.AddRequestType(spec);
-  };
-
-  for (std::int32_t g = 0; g < opts.groups; ++g) {
-    const std::string gp = "g" + std::to_string(g);
-    // Shared upstream service of the group: small slot pool so cross-tier
-    // overflow can reach it within the stealth volume budget.
-    const ServiceId um = svc(gp + "-frontend", 20, 4);
-    for (std::int32_t p = 0; p < opts.paths_per_group; ++p) {
-      const std::string pp = gp + "-p" + std::to_string(p);
-      const ServiceId worker = svc(pp + "-worker", 64, 2);
-      const ServiceId leaf = svc(pp + "-store", 128, 2);
-      std::vector<Hop> hops;
-      hops.push_back({gateway, Us(300), 0});
-      hops.push_back({um, Us(1400), Us(600)});
-      // 0-1 light intermediate services for topology variety.
-      if (rng.NextBool(0.5) && remaining > opts.groups) {
-        const ServiceId mid = svc(pp + "-mid", 96, 2);
-        hops.push_back({mid, light_demand(), 0});
-      }
-      hops.push_back({worker, heavy_demand(), Us(800)});
-      hops.push_back({leaf, light_demand(), 0});
-      add_type("api/" + pp, std::move(hops));
-    }
-    if (g < opts.upstream_paths) {
-      // Path bottlenecking on the shared UM itself: the group's sequential
-      // "upstream" member.
-      const ServiceId leaf = svc(gp + "-audit", 128, 2);
-      add_type("api/" + gp + "-admin",
-               {{gateway, Us(300), 0},
-                {um, Us(24000), Us(1200)},
-                {leaf, light_demand(), 0}});
-    }
-  }
-
-  for (std::int32_t s = 0; s < opts.singleton_paths; ++s) {
-    const std::string sp = "solo" + std::to_string(s);
-    const ServiceId worker = svc(sp + "-worker", 64, 2);
-    const ServiceId leaf = svc(sp + "-store", 128, 2);
-    add_type("api/" + sp, {{gateway, Us(300), 0},
-                           {worker, heavy_demand(), Us(800)},
-                           {leaf, light_demand(), 0}});
-  }
-
-  // Pad to the requested service count with services public URLs never
-  // reach (cron jobs, internal pipelines, replicated sidecars).
-  std::int32_t pad = 0;
-  while (remaining > 0) {
-    svc("internal-" + std::to_string(pad++), 32, 1);
-  }
-
-  return std::move(b).Build();
+  scenario::MubenchParams p;
+  p.services = opts.services;
+  p.groups = opts.groups;
+  p.paths_per_group = opts.paths_per_group;
+  p.upstream_paths = opts.upstream_paths;
+  p.singleton_paths = opts.singleton_paths;
+  p.dist = opts.dist;
+  p.default_rpc = opts.resilience.default_rpc;
+  p.max_queue_per_replica = opts.resilience.max_queue_per_replica;
+  p.breaker_threshold = opts.resilience.breaker_threshold;
+  p.breaker_cooldown = opts.resilience.breaker_cooldown;
+  return scenario::BuildApplication(
+      scenario::GenerateMubench(opts.seed, p).topology);
 }
 
 workload::RequestMix MuBenchMix(const microsvc::Application& app) {

@@ -1,249 +1,45 @@
 #include "apps/socialnetwork.h"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
+#include "scenario/builtin_apps.h"
+#include "scenario/loader.h"
+
+// The topology itself now lives in the declarative scenario layer
+// (scenario::SocialNetworkScenario, shipped as specs/socialnetwork.json);
+// these factories are thin wrappers kept for source compatibility.
 
 namespace grunt::apps {
 
 namespace {
 
-using microsvc::Hop;
-using microsvc::RequestTypeSpec;
-using microsvc::ServiceId;
-using microsvc::ServiceSpec;
-
-/// Scales a mean demand by the cloud capacity factor (faster cloud ->
-/// shorter demand).
-SimDuration D(double ms, double capacity_scale) {
-  return std::max<SimDuration>(
-      1, static_cast<SimDuration>(ms * 1000.0 / capacity_scale));
+scenario::DeploymentParams ToParams(const SocialNetworkOptions& opts) {
+  scenario::DeploymentParams p;
+  p.replica_scale = opts.replica_scale;
+  p.capacity_scale = opts.capacity_scale;
+  p.dist = opts.dist;
+  p.queue_scale = opts.queue_scale;
+  p.default_rpc = opts.resilience.default_rpc;
+  p.max_queue_per_replica = opts.resilience.max_queue_per_replica;
+  p.breaker_threshold = opts.resilience.breaker_threshold;
+  p.breaker_cooldown = opts.resilience.breaker_cooldown;
+  return p;
 }
 
 }  // namespace
 
 microsvc::Application MakeSocialNetwork(const SocialNetworkOptions& opts) {
-  if (opts.replica_scale < 1 || opts.capacity_scale <= 0 ||
-      opts.queue_scale <= 0) {
-    throw std::invalid_argument("MakeSocialNetwork: bad options");
-  }
-  microsvc::Application::Builder b;
-  b.SetName("socialnetwork").SetServiceTimeDist(opts.dist).SetNetLatency(
-      Us(400));
-
-  const std::int32_t r = opts.replica_scale;
-  auto svc = [&](const char* name, std::int32_t threads, std::int32_t cores,
-                 std::int32_t replicas) {
-    ServiceSpec spec;
-    spec.name = name;
-    // queue_scale applies to backend services; the gateway keeps its huge
-    // pool (it is never the exploited queue).
-    spec.threads_per_replica =
-        threads >= 1024 ? threads
-                        : std::max<std::int32_t>(
-                              4, static_cast<std::int32_t>(
-                                     threads * opts.queue_scale));
-    spec.cores_per_replica = cores;
-    spec.initial_replicas = replicas;
-    spec.max_replicas = replicas * 8;
-    if (threads < 1024) {  // backends only; the gateway never sheds
-      spec.max_queue_per_replica = opts.resilience.max_queue_per_replica;
-      spec.breaker_threshold = opts.resilience.breaker_threshold;
-      spec.breaker_cooldown = opts.resilience.breaker_cooldown;
-    }
-    return b.AddService(spec);
-  };
-  if (opts.resilience.default_rpc) {
-    b.SetDefaultRpcPolicy(*opts.resilience.default_rpc);
-  }
-
-  // --- gateway (well provisioned: overflow never reaches its slot pool) ---
-  const ServiceId nginx = svc("nginx", 4096, 16, 1);
-
-  // --- compose fan-in (dependency group A; shared UM: compose-post) ---
-  const ServiceId compose_post = svc("compose-post", 20, 4, r);
-  const ServiceId unique_id = svc("unique-id", 96, 2, r);
-  const ServiceId text_service = svc("text-service", 64, 2, r);
-  const ServiceId media_service = svc("media-service", 64, 2, r);
-  const ServiceId url_shorten = svc("url-shorten", 64, 2, r);
-  const ServiceId user_mention = svc("user-mention", 64, 2, r);
-  const ServiceId post_storage = svc("post-storage", 128, 4, r);
-  const ServiceId poll_service = svc("poll-service", 64, 2, r);
-
-  // --- home-timeline read fan-in (group B; shared UM: home-timeline) ---
-  const ServiceId home_timeline = svc("home-timeline", 20, 4, r);
-  const ServiceId social_graph = svc("social-graph", 64, 2, r);
-  const ServiceId media_frontend = svc("media-frontend", 64, 2, r);
-  const ServiceId recommender = svc("recommender", 64, 2, r);
-
-  // --- user-timeline read fan-in (group C; shared UM: user-timeline) ---
-  const ServiceId user_timeline = svc("user-timeline", 20, 4, r);
-  const ServiceId user_service = svc("user-service", 64, 2, r);
-  const ServiceId follow_service = svc("follow-service", 64, 2, r);
-  const ServiceId profile_service = svc("profile-service", 64, 2, r);
-
-  // --- storage / auxiliary backends ---
-  const ServiceId media_storage = svc("media-storage", 128, 2, r);
-  const ServiceId user_db = svc("user-db", 128, 4, r);
-  const ServiceId social_graph_db = svc("social-graph-db", 128, 2, r);
-  const ServiceId auth_service = svc("auth-service", 64, 2, r);
-  const ServiceId search_service = svc("search-service", 64, 2, r);
-  const ServiceId post_cache = svc("post-cache", 128, 2, r);
-  const ServiceId timeline_cache = svc("timeline-cache", 128, 2, r);
-  const ServiceId user_cache = svc("user-cache", 128, 2, r);
-  const ServiceId media_cache = svc("media-cache", 128, 2, r);
-
-  const double cs = opts.capacity_scale;
-  auto type = [&](const char* name, std::vector<Hop> hops, double heavy,
-                  std::int64_t req_bytes, std::int64_t resp_bytes) {
-    RequestTypeSpec spec;
-    spec.name = name;
-    spec.hops = std::move(hops);
-    spec.heavy_multiplier = heavy;
-    spec.request_bytes = req_bytes;
-    spec.response_bytes = resp_bytes;
-    return b.AddRequestType(spec);
-  };
-
-  // Group A: compose paths. compose-post is the shared upstream service;
-  // each variant bottlenecks on a different downstream worker.
-  type("compose/text",
-       {{nginx, D(0.3, cs), 0},
-        {compose_post, D(1.5, cs), D(0.7, cs)},
-        {unique_id, D(0.4, cs), 0},
-        {text_service, D(9.0, cs), D(1.0, cs)},
-        {post_storage, D(1.2, cs), 0}},
-       1.6, 900, 1500);
-  type("compose/media",
-       {{nginx, D(0.3, cs), 0},
-        {compose_post, D(1.5, cs), D(0.7, cs)},
-        {media_service, D(10.0, cs), D(1.0, cs)},
-        {media_storage, D(1.5, cs), 0}},
-       1.6, 4000, 1600);
-  type("compose/url",
-       {{nginx, D(0.3, cs), 0},
-        {compose_post, D(1.4, cs), D(0.7, cs)},
-        {url_shorten, D(9.0, cs), D(0.8, cs)},
-        {post_storage, D(1.0, cs), 0}},
-       1.6, 1000, 1400);
-  type("compose/mention",
-       {{nginx, D(0.3, cs), 0},
-        {compose_post, D(1.5, cs), D(0.7, cs)},
-        {user_mention, D(9.5, cs), D(0.8, cs)},
-        {user_db, D(0.8, cs), 0}},
-       1.6, 1100, 1400);
-  // The "upstream" path of the group: its bottleneck is compose-post itself,
-  // giving it a sequential dependency over the other compose paths (it can
-  // trigger an execution blocking effect directly, Definition II).
-  type("compose/poll",
-       {{nginx, D(0.3, cs), 0},
-        {compose_post, D(24.0, cs), D(1.5, cs)},
-        {poll_service, D(1.0, cs), 0}},
-       1.6, 1200, 1300);
-
-  // Group B: home-timeline reads.
-  type("home/read",
-       {{nginx, D(0.3, cs), 0},
-        {home_timeline, D(1.4, cs), D(0.6, cs)},
-        {social_graph, D(9.0, cs), D(0.8, cs)},
-        {post_cache, D(0.8, cs), 0}},
-       1.6, 600, 9000);
-  type("home/media",
-       {{nginx, D(0.3, cs), 0},
-        {home_timeline, D(1.4, cs), D(0.6, cs)},
-        {media_frontend, D(10.0, cs), D(0.8, cs)},
-        {media_cache, D(0.8, cs), 0}},
-       1.6, 600, 14000);
-  type("home/recommend",
-       {{nginx, D(0.3, cs), 0},
-        {home_timeline, D(1.4, cs), D(0.6, cs)},
-        {recommender, D(11.0, cs), D(0.8, cs)},
-        {user_cache, D(0.6, cs), 0}},
-       1.6, 700, 7000);
-
-  // Group C: user-timeline reads.
-  type("user/read",
-       {{nginx, D(0.3, cs), 0},
-        {user_timeline, D(1.4, cs), D(0.6, cs)},
-        {user_service, D(9.0, cs), D(0.8, cs)},
-        {timeline_cache, D(0.8, cs), 0}},
-       1.6, 600, 8000);
-  type("user/follow",
-       {{nginx, D(0.3, cs), 0},
-        {user_timeline, D(1.4, cs), D(0.6, cs)},
-        {follow_service, D(9.5, cs), D(0.8, cs)},
-        {social_graph_db, D(0.8, cs), 0}},
-       1.6, 700, 1200);
-  type("user/profile",
-       {{nginx, D(0.3, cs), 0},
-        {user_timeline, D(1.4, cs), D(0.6, cs)},
-        {profile_service, D(10.0, cs), D(0.8, cs)},
-        {user_db, D(0.7, cs), 0}},
-       1.6, 600, 6000);
-
-  // Independent singleton paths: share only nginx / leaf storage with the
-  // groups, and the gateway is too well provisioned to overflow.
-  type("auth/login",
-       {{nginx, D(0.3, cs), 0},
-        {auth_service, D(6.0, cs), D(0.8, cs)},
-        {user_cache, D(0.6, cs), 0}},
-       1.5, 500, 900);
-  type("search",
-       {{nginx, D(0.3, cs), 0},
-        {search_service, D(8.0, cs), D(0.8, cs)},
-        {post_cache, D(0.7, cs), 0}},
-       1.6, 600, 5000);
-
-  // Static asset served at the edge; excluded by the profiler.
-  {
-    RequestTypeSpec spec;
-    spec.name = "static/logo.png";
-    spec.is_static = true;
-    spec.request_bytes = 400;
-    spec.response_bytes = 25000;
-    b.AddRequestType(spec);
-  }
-
-  return std::move(b).Build();
+  return scenario::BuildApplication(
+      scenario::SocialNetworkScenario(ToParams(opts)).topology);
 }
 
 workload::RequestMix SocialNetworkMix(const microsvc::Application& app) {
-  workload::RequestMix mix;
-  auto add = [&](const char* name, double weight) {
-    auto id = app.FindRequestType(name);
-    if (!id) throw std::logic_error("SocialNetworkMix: missing type");
-    mix.types.push_back(*id);
-    mix.weights.push_back(weight);
-  };
-  // Read-leaning social-media mix, balanced so that at the reference
-  // workload (7000 users ~= 1000 req/s) every worker bottleneck sits at a
-  // realistic 35-55% utilization (Sec V-B: clouds run below saturation).
-  add("home/read", 10);
-  add("home/media", 9);
-  add("home/recommend", 8);
-  add("user/read", 9);
-  add("user/follow", 8);
-  add("user/profile", 8);
-  add("compose/text", 9);
-  add("compose/media", 8);
-  add("compose/url", 7);
-  add("compose/mention", 7);
-  add("compose/poll", 6);
-  add("auth/login", 4);
-  add("search", 3);
-  add("static/logo.png", 1);
-  return mix;
+  return scenario::BuildRequestMix(app,
+                                   scenario::SocialNetworkScenario().workload);
 }
 
 workload::MarkovNavigator SocialNetworkNavigator(
     const microsvc::Application& app) {
-  const workload::RequestMix mix = SocialNetworkMix(app);
-  workload::MarkovNavigator nav;
-  nav.types = mix.types;
-  // Memoryless chain whose stationary distribution equals the mix weights:
-  // every row is the popularity vector.
-  nav.transition.assign(mix.types.size(), mix.weights);
-  return nav;
+  return scenario::BuildNavigator(app,
+                                  scenario::SocialNetworkScenario().workload);
 }
 
 }  // namespace grunt::apps

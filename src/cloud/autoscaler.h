@@ -32,6 +32,9 @@ class AutoScaler {
     SimDuration provision_delay = Sec(20);
     /// Minimum spacing between consecutive actions on one service.
     SimDuration cooldown = Sec(30);
+
+    // Spec-visible (scenario files serialize this struct).
+    friend bool operator==(const Config&, const Config&) = default;
   };
 
   /// `monitor` must sample CPU utilization; the autoscaler evaluates its

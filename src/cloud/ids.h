@@ -52,6 +52,9 @@ class Ids {
     /// inter-request rule (one-shot clients are indistinguishable from new
     /// visitors).
     std::int32_t min_session_requests = 2;
+
+    // Spec-visible (scenario files serialize this struct).
+    friend bool operator==(const Config&, const Config&) = default;
   };
 
   /// `monitor`/`rt_monitor` may be null; the corresponding rules are then

@@ -20,6 +20,9 @@ class ResourceMonitor {
   struct Config {
     SimDuration granularity = Sec(1);
     std::string name = "cloudwatch";
+
+    // Spec-visible (scenario files serialize the granularity).
+    friend bool operator==(const Config&, const Config&) = default;
   };
 
   ResourceMonitor(microsvc::Cluster& cluster, Config cfg);

@@ -126,6 +126,14 @@ Application Application::Builder::Build() && {
       throw std::invalid_argument("heavy_multiplier < 1 in type: " + t.name);
     }
   }
+  for (std::size_t i = 0; i < app_.services_.size(); ++i) {
+    app_.service_index_.emplace(app_.services_[i].name,
+                                static_cast<ServiceId>(i));
+  }
+  for (std::size_t i = 0; i < app_.types_.size(); ++i) {
+    app_.type_index_.emplace(app_.types_[i].name,
+                             static_cast<RequestTypeId>(i));
+  }
   return std::move(app_);
 }
 
@@ -144,18 +152,24 @@ const RpcPolicy& Application::rpc_policy(RequestTypeId t,
 }
 
 std::optional<ServiceId> Application::FindService(std::string_view name) const {
-  for (std::size_t i = 0; i < services_.size(); ++i) {
-    if (services_[i].name == name) return static_cast<ServiceId>(i);
-  }
-  return std::nullopt;
+  const auto it = service_index_.find(name);
+  if (it == service_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<RequestTypeId> Application::FindRequestType(
     std::string_view name) const {
-  for (std::size_t i = 0; i < types_.size(); ++i) {
-    if (types_[i].name == name) return static_cast<RequestTypeId>(i);
-  }
-  return std::nullopt;
+  const auto it = type_index_.find(name);
+  if (it == type_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StructurallyEqual(const Application& a, const Application& b) {
+  return a.name() == b.name() && a.net_latency() == b.net_latency() &&
+         a.service_time_dist() == b.service_time_dist() &&
+         a.default_rpc() == b.default_rpc() &&
+         a.services() == b.services() &&
+         a.request_types() == b.request_types();
 }
 
 std::vector<RequestTypeId> Application::PublicDynamicTypes() const {

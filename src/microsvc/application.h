@@ -1,8 +1,10 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "microsvc/types.h"
@@ -59,13 +61,36 @@ class Application {
 
  private:
   friend class Builder;
+
+  /// Heterogeneous string hashing so FindService/FindRequestType accept
+  /// string_view without materializing a std::string per lookup.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using NameIndex =
+      std::unordered_map<std::string, std::int32_t, NameHash, std::equal_to<>>;
+
   std::string name_ = "app";
   SimDuration net_latency_ = 500;  // 0.5 ms per RPC message
   ServiceTimeDist dist_ = ServiceTimeDist::kExponential;
   RpcPolicy default_rpc_;
   std::vector<ServiceSpec> services_;
   std::vector<RequestTypeSpec> types_;
+  // Name → id indices, built once in Builder::Build() (the spec loader
+  // resolves every endpoint/service reference by name).
+  NameIndex service_index_;
+  NameIndex type_index_;
 };
+
+/// True when the two applications describe the same static topology:
+/// identical name, network latency, service-time distribution, default RPC
+/// policy, service list and request-type list (field-by-field, in order).
+/// This is the "golden equivalence" check between spec-built and
+/// legacy-built applications.
+bool StructurallyEqual(const Application& a, const Application& b);
 
 class Application::Builder {
  public:

@@ -60,6 +60,8 @@ struct RpcPolicy {
   double backoff_multiplier = 2.0;
   /// Jitter fraction j: each backoff is scaled by 1 + U(-j, +j). 0 = exact.
   double jitter = 0.0;
+
+  friend bool operator==(const RpcPolicy&, const RpcPolicy&) = default;
 };
 
 /// One hop of a request type's critical path (Fig 2(c)): the service visited,
@@ -72,6 +74,8 @@ struct Hop {
   /// Policy governing calls INTO this hop (for hop 0, the external client's
   /// own timeout/retry). Unset = the application-wide default policy.
   std::optional<RpcPolicy> rpc;
+
+  friend bool operator==(const Hop&, const Hop&) = default;
 };
 
 /// Static description of a supported user request (== execution path ==
@@ -91,6 +95,9 @@ struct RequestTypeSpec {
   /// chain: every downstream attempt's timeout is truncated to the remaining
   /// budget. 0 = none.
   SimDuration deadline = 0;
+
+  friend bool operator==(const RequestTypeSpec&,
+                         const RequestTypeSpec&) = default;
 };
 
 /// Static description of one microservice.
@@ -112,6 +119,8 @@ struct ServiceSpec {
   /// for `breaker_cooldown`. 0 = disabled.
   std::int32_t breaker_threshold = 0;
   SimDuration breaker_cooldown = Ms(500);
+
+  friend bool operator==(const ServiceSpec&, const ServiceSpec&) = default;
 };
 
 /// How per-request CPU demands are drawn around their mean.

@@ -1,0 +1,101 @@
+#include "scenario/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace grunt::scenario {
+
+SimDuration ScaledDemand(double ms, double capacity_scale) {
+  return std::max<SimDuration>(
+      1, static_cast<SimDuration>(ms * 1000.0 / capacity_scale));
+}
+
+SpecBuilder::SpecBuilder(std::string name) {
+  spec_.name = std::move(name);
+}
+
+SpecBuilder& SpecBuilder::SetNetLatency(SimDuration lat) {
+  spec_.net_latency = lat;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::SetServiceTimeDist(microsvc::ServiceTimeDist dist) {
+  spec_.dist = dist;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::SetDefaultRpc(
+    const std::optional<microsvc::RpcPolicy>& rpc) {
+  spec_.default_rpc = rpc;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::SetBackendAdmission(
+    std::int32_t max_queue_per_replica, std::int32_t breaker_threshold,
+    SimDuration breaker_cooldown) {
+  max_queue_per_replica_ = max_queue_per_replica;
+  breaker_threshold_ = breaker_threshold;
+  breaker_cooldown_ = breaker_cooldown;
+  return *this;
+}
+
+const std::string& SpecBuilder::AddService(std::string name,
+                                           std::int32_t threads,
+                                           std::int32_t cores,
+                                           std::int32_t replicas,
+                                           std::int32_t max_replicas) {
+  microsvc::ServiceSpec svc;
+  svc.name = std::move(name);
+  svc.threads_per_replica = threads;
+  svc.cores_per_replica = cores;
+  svc.initial_replicas = replicas;
+  svc.max_replicas = max_replicas > 0 ? max_replicas : replicas * 8;
+  if (threads < kGatewayThreads) {  // backends only; gateways never shed
+    svc.max_queue_per_replica = max_queue_per_replica_;
+    svc.breaker_threshold = breaker_threshold_;
+    svc.breaker_cooldown = breaker_cooldown_;
+  }
+  spec_.services.push_back(std::move(svc));
+  return spec_.services.back().name;
+}
+
+void SpecBuilder::AddChainEndpoint(std::string name,
+                                   std::vector<CallSpec> calls,
+                                   double heavy_multiplier,
+                                   std::int64_t request_bytes,
+                                   std::int64_t response_bytes) {
+  std::vector<StageSpec> stages;
+  stages.reserve(calls.size());
+  for (auto& call : calls) stages.push_back(StageSpec{{std::move(call)}});
+  AddStagedEndpoint(std::move(name), std::move(stages), heavy_multiplier,
+                    request_bytes, response_bytes);
+}
+
+void SpecBuilder::AddStagedEndpoint(std::string name,
+                                    std::vector<StageSpec> stages,
+                                    double heavy_multiplier,
+                                    std::int64_t request_bytes,
+                                    std::int64_t response_bytes) {
+  EndpointSpec ep;
+  ep.name = std::move(name);
+  ep.stages = std::move(stages);
+  ep.heavy_multiplier = heavy_multiplier;
+  ep.request_bytes = request_bytes;
+  ep.response_bytes = response_bytes;
+  spec_.endpoints.push_back(std::move(ep));
+}
+
+void SpecBuilder::AddStaticEndpoint(std::string name,
+                                    std::int64_t request_bytes,
+                                    std::int64_t response_bytes) {
+  EndpointSpec ep;
+  ep.name = std::move(name);
+  ep.is_static = true;
+  ep.request_bytes = request_bytes;
+  ep.response_bytes = response_bytes;
+  spec_.endpoints.push_back(std::move(ep));
+}
+
+TopologySpec SpecBuilder::Build() && { return std::move(spec_); }
+
+}  // namespace grunt::scenario

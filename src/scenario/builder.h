@@ -1,0 +1,73 @@
+#pragma once
+
+// SpecBuilder: the one shared topology-construction utility behind every
+// built-in app. Before the scenario layer, socialnetwork.cpp,
+// hotelreservation.cpp and mubench.cpp each carried their own copy-pasted
+// `svc`/`type` lambdas (service sizing + admission stamping, fan-in stage
+// construction, static endpoints); this class is that logic, once.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace grunt::scenario {
+
+/// Services with at least this many threads per replica are gateways:
+/// effectively un-overflowable slot pools that never load-shed (the
+/// exploited queues are always the small backend pools behind them).
+inline constexpr std::int32_t kGatewayThreads = 1024;
+
+/// Scales a mean demand in milliseconds by a cloud capacity factor (faster
+/// cloud → shorter demand), mirroring the original per-app `D()` helpers.
+SimDuration ScaledDemand(double ms, double capacity_scale);
+
+class SpecBuilder {
+ public:
+  explicit SpecBuilder(std::string name);
+
+  SpecBuilder& SetNetLatency(SimDuration lat);
+  SpecBuilder& SetServiceTimeDist(microsvc::ServiceTimeDist dist);
+  SpecBuilder& SetDefaultRpc(const std::optional<microsvc::RpcPolicy>& rpc);
+  /// Admission control (load shedding + per-caller breakers) stamped onto
+  /// every subsequently added backend service. Gateways (threads >=
+  /// kGatewayThreads) never shed, matching the apps' long-standing rule.
+  SpecBuilder& SetBackendAdmission(std::int32_t max_queue_per_replica,
+                                   std::int32_t breaker_threshold,
+                                   SimDuration breaker_cooldown);
+
+  /// Adds a service; `max_replicas` 0 means `replicas * 8` (the app idiom).
+  /// Returns the service name (specs reference services by name).
+  const std::string& AddService(std::string name, std::int32_t threads,
+                                std::int32_t cores, std::int32_t replicas,
+                                std::int32_t max_replicas = 0);
+
+  /// Adds a sequential-chain endpoint: each call becomes its own stage.
+  void AddChainEndpoint(std::string name, std::vector<CallSpec> calls,
+                        double heavy_multiplier, std::int64_t request_bytes,
+                        std::int64_t response_bytes);
+
+  /// Adds an endpoint with explicit (possibly fan-out) stages.
+  void AddStagedEndpoint(std::string name, std::vector<StageSpec> stages,
+                         double heavy_multiplier, std::int64_t request_bytes,
+                         std::int64_t response_bytes);
+
+  /// Adds a static edge-served endpoint (no backend stages).
+  void AddStaticEndpoint(std::string name, std::int64_t request_bytes,
+                         std::int64_t response_bytes);
+
+  std::size_t service_count() const { return spec_.services.size(); }
+  std::size_t endpoint_count() const { return spec_.endpoints.size(); }
+
+  TopologySpec Build() &&;
+
+ private:
+  TopologySpec spec_;
+  std::int32_t max_queue_per_replica_ = 0;
+  std::int32_t breaker_threshold_ = 0;
+  SimDuration breaker_cooldown_ = Ms(500);
+};
+
+}  // namespace grunt::scenario

@@ -1,0 +1,339 @@
+#include "scenario/builtin_apps.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/builder.h"
+
+namespace grunt::scenario {
+
+namespace {
+
+WorkloadSpec ClosedLoop(std::int32_t users,
+                        std::vector<MixEntrySpec> mix) {
+  WorkloadSpec wl;
+  wl.kind = WorkloadSpec::Kind::kClosedLoop;
+  wl.users = users;
+  wl.mix = std::move(mix);
+  return wl;
+}
+
+}  // namespace
+
+ScenarioSpec SocialNetworkScenario(const DeploymentParams& p) {
+  if (p.replica_scale < 1 || p.capacity_scale <= 0 || p.queue_scale <= 0) {
+    throw std::invalid_argument("SocialNetworkScenario: bad params");
+  }
+  SpecBuilder b("socialnetwork");
+  b.SetServiceTimeDist(p.dist).SetNetLatency(Us(400));
+  b.SetDefaultRpc(p.default_rpc);
+  b.SetBackendAdmission(p.max_queue_per_replica, p.breaker_threshold,
+                        p.breaker_cooldown);
+
+  const std::int32_t r = p.replica_scale;
+  // queue_scale applies to backend services; the gateway keeps its huge
+  // pool (it is never the exploited queue).
+  auto svc = [&](const char* name, std::int32_t threads, std::int32_t cores,
+                 std::int32_t replicas) -> std::string {
+    const std::int32_t eff =
+        threads >= kGatewayThreads
+            ? threads
+            : std::max<std::int32_t>(
+                  4, static_cast<std::int32_t>(threads * p.queue_scale));
+    return b.AddService(name, eff, cores, replicas);
+  };
+
+  // --- gateway (well provisioned: overflow never reaches its slot pool) ---
+  const auto nginx = svc("nginx", 4096, 16, 1);
+
+  // --- compose fan-in (dependency group A; shared UM: compose-post) ---
+  const auto compose_post = svc("compose-post", 20, 4, r);
+  const auto unique_id = svc("unique-id", 96, 2, r);
+  const auto text_service = svc("text-service", 64, 2, r);
+  const auto media_service = svc("media-service", 64, 2, r);
+  const auto url_shorten = svc("url-shorten", 64, 2, r);
+  const auto user_mention = svc("user-mention", 64, 2, r);
+  const auto post_storage = svc("post-storage", 128, 4, r);
+  const auto poll_service = svc("poll-service", 64, 2, r);
+
+  // --- home-timeline read fan-in (group B; shared UM: home-timeline) ---
+  const auto home_timeline = svc("home-timeline", 20, 4, r);
+  const auto social_graph = svc("social-graph", 64, 2, r);
+  const auto media_frontend = svc("media-frontend", 64, 2, r);
+  const auto recommender = svc("recommender", 64, 2, r);
+
+  // --- user-timeline read fan-in (group C; shared UM: user-timeline) ---
+  const auto user_timeline = svc("user-timeline", 20, 4, r);
+  const auto user_service = svc("user-service", 64, 2, r);
+  const auto follow_service = svc("follow-service", 64, 2, r);
+  const auto profile_service = svc("profile-service", 64, 2, r);
+
+  // --- storage / auxiliary backends ---
+  const auto media_storage = svc("media-storage", 128, 2, r);
+  const auto user_db = svc("user-db", 128, 4, r);
+  const auto social_graph_db = svc("social-graph-db", 128, 2, r);
+  const auto auth_service = svc("auth-service", 64, 2, r);
+  const auto search_service = svc("search-service", 64, 2, r);
+  const auto post_cache = svc("post-cache", 128, 2, r);
+  const auto timeline_cache = svc("timeline-cache", 128, 2, r);
+  const auto user_cache = svc("user-cache", 128, 2, r);
+  const auto media_cache = svc("media-cache", 128, 2, r);
+
+  const double cs = p.capacity_scale;
+  auto D = [cs](double ms) { return ScaledDemand(ms, cs); };
+  auto type = [&](const char* name, std::vector<CallSpec> calls, double heavy,
+                  std::int64_t req_bytes, std::int64_t resp_bytes) {
+    b.AddChainEndpoint(name, std::move(calls), heavy, req_bytes, resp_bytes);
+  };
+
+  // Group A: compose paths. compose-post is the shared upstream service;
+  // each variant bottlenecks on a different downstream worker.
+  type("compose/text",
+       {{nginx, D(0.3), 0},
+        {compose_post, D(1.5), D(0.7)},
+        {unique_id, D(0.4), 0},
+        {text_service, D(9.0), D(1.0)},
+        {post_storage, D(1.2), 0}},
+       1.6, 900, 1500);
+  type("compose/media",
+       {{nginx, D(0.3), 0},
+        {compose_post, D(1.5), D(0.7)},
+        {media_service, D(10.0), D(1.0)},
+        {media_storage, D(1.5), 0}},
+       1.6, 4000, 1600);
+  type("compose/url",
+       {{nginx, D(0.3), 0},
+        {compose_post, D(1.4), D(0.7)},
+        {url_shorten, D(9.0), D(0.8)},
+        {post_storage, D(1.0), 0}},
+       1.6, 1000, 1400);
+  type("compose/mention",
+       {{nginx, D(0.3), 0},
+        {compose_post, D(1.5), D(0.7)},
+        {user_mention, D(9.5), D(0.8)},
+        {user_db, D(0.8), 0}},
+       1.6, 1100, 1400);
+  // The "upstream" path of the group: its bottleneck is compose-post itself,
+  // giving it a sequential dependency over the other compose paths (it can
+  // trigger an execution blocking effect directly, Definition II).
+  type("compose/poll",
+       {{nginx, D(0.3), 0},
+        {compose_post, D(24.0), D(1.5)},
+        {poll_service, D(1.0), 0}},
+       1.6, 1200, 1300);
+
+  // Group B: home-timeline reads.
+  type("home/read",
+       {{nginx, D(0.3), 0},
+        {home_timeline, D(1.4), D(0.6)},
+        {social_graph, D(9.0), D(0.8)},
+        {post_cache, D(0.8), 0}},
+       1.6, 600, 9000);
+  type("home/media",
+       {{nginx, D(0.3), 0},
+        {home_timeline, D(1.4), D(0.6)},
+        {media_frontend, D(10.0), D(0.8)},
+        {media_cache, D(0.8), 0}},
+       1.6, 600, 14000);
+  type("home/recommend",
+       {{nginx, D(0.3), 0},
+        {home_timeline, D(1.4), D(0.6)},
+        {recommender, D(11.0), D(0.8)},
+        {user_cache, D(0.6), 0}},
+       1.6, 700, 7000);
+
+  // Group C: user-timeline reads.
+  type("user/read",
+       {{nginx, D(0.3), 0},
+        {user_timeline, D(1.4), D(0.6)},
+        {user_service, D(9.0), D(0.8)},
+        {timeline_cache, D(0.8), 0}},
+       1.6, 600, 8000);
+  type("user/follow",
+       {{nginx, D(0.3), 0},
+        {user_timeline, D(1.4), D(0.6)},
+        {follow_service, D(9.5), D(0.8)},
+        {social_graph_db, D(0.8), 0}},
+       1.6, 700, 1200);
+  type("user/profile",
+       {{nginx, D(0.3), 0},
+        {user_timeline, D(1.4), D(0.6)},
+        {profile_service, D(10.0), D(0.8)},
+        {user_db, D(0.7), 0}},
+       1.6, 600, 6000);
+
+  // Independent singleton paths: share only nginx / leaf storage with the
+  // groups, and the gateway is too well provisioned to overflow.
+  type("auth/login",
+       {{nginx, D(0.3), 0},
+        {auth_service, D(6.0), D(0.8)},
+        {user_cache, D(0.6), 0}},
+       1.5, 500, 900);
+  type("search",
+       {{nginx, D(0.3), 0},
+        {search_service, D(8.0), D(0.8)},
+        {post_cache, D(0.7), 0}},
+       1.6, 600, 5000);
+
+  // Static asset served at the edge; excluded by the profiler.
+  b.AddStaticEndpoint("static/logo.png", 400, 25000);
+
+  ScenarioSpec scenario;
+  scenario.name = "socialnetwork";
+  scenario.description =
+      "DeathStarBench SocialNetwork under closed-loop users (paper Sec V-B "
+      "reference deployment)";
+  scenario.topology = std::move(b).Build();
+  // Read-leaning social-media mix, balanced so that at the reference
+  // workload (7000 users ~= 1000 req/s) every worker bottleneck sits at a
+  // realistic 35-55% utilization (Sec V-B: clouds run below saturation).
+  scenario.workload = ClosedLoop(p.users > 0 ? p.users : 7000,
+                                 {{"home/read", 10},
+                                  {"home/media", 9},
+                                  {"home/recommend", 8},
+                                  {"user/read", 9},
+                                  {"user/follow", 8},
+                                  {"user/profile", 8},
+                                  {"compose/text", 9},
+                                  {"compose/media", 8},
+                                  {"compose/url", 7},
+                                  {"compose/mention", 7},
+                                  {"compose/poll", 6},
+                                  {"auth/login", 4},
+                                  {"search", 3},
+                                  {"static/logo.png", 1}});
+  return scenario;
+}
+
+ScenarioSpec HotelReservationScenario(const DeploymentParams& p) {
+  if (p.replica_scale < 1 || p.capacity_scale <= 0) {
+    throw std::invalid_argument("HotelReservationScenario: bad params");
+  }
+  SpecBuilder b("hotelreservation");
+  b.SetServiceTimeDist(p.dist).SetNetLatency(Us(400));
+  b.SetDefaultRpc(p.default_rpc);
+  b.SetBackendAdmission(p.max_queue_per_replica, p.breaker_threshold,
+                        p.breaker_cooldown);
+
+  const std::int32_t r = p.replica_scale;
+  auto svc = [&](const char* name, std::int32_t threads, std::int32_t cores,
+                 std::int32_t replicas) {
+    return b.AddService(name, threads, cores, replicas);
+  };
+
+  const auto frontend = svc("frontend", 4096, 16, 1);
+
+  // Search fan-in (group A; shared UM: search).
+  const auto search = svc("search", 20, 4, r);
+  const auto geo = svc("geo", 64, 2, r);
+  const auto rate = svc("rate", 64, 2, r);
+  const auto recommendation = svc("recommendation", 64, 2, r);
+  const auto hotel_db = svc("hotel-db", 128, 4, r);
+  const auto geo_cache = svc("geo-cache", 128, 2, r);
+  const auto rate_cache = svc("rate-cache", 128, 2, r);
+
+  // Reservation fan-in (group B; shared UM: reservation).
+  const auto reservation = svc("reservation", 20, 4, r);
+  const auto availability = svc("availability", 64, 2, r);
+  const auto payment = svc("payment", 64, 2, r);
+  const auto booking_records = svc("booking-records", 64, 2, r);
+  const auto booking_db = svc("booking-db", 128, 4, r);
+  const auto payment_gateway = svc("payment-gateway", 128, 2, r);
+
+  // Independent paths + backends.
+  const auto user = svc("user", 64, 2, r);
+  const auto profile = svc("profile", 64, 2, r);
+  const auto user_db = svc("user-db", 128, 2, r);
+  const auto profile_db = svc("profile-db", 128, 2, r);
+
+  const double cs = p.capacity_scale;
+  auto D = [cs](double ms) { return ScaledDemand(ms, cs); };
+  auto type = [&](const char* name, std::vector<CallSpec> calls, double heavy,
+                  std::int64_t req_bytes, std::int64_t resp_bytes) {
+    b.AddChainEndpoint(name, std::move(calls), heavy, req_bytes, resp_bytes);
+  };
+
+  // Group A: searches (distinct worker bottlenecks behind `search`).
+  type("search/nearby",
+       {{frontend, D(0.3), 0},
+        {search, D(1.5), D(0.6)},
+        {geo, D(9.0), D(0.8)},
+        {geo_cache, D(0.8), 0}},
+       1.6, 700, 9000);
+  type("search/rates",
+       {{frontend, D(0.3), 0},
+        {search, D(1.5), D(0.6)},
+        {rate, D(10.0), D(0.8)},
+        {rate_cache, D(0.8), 0}},
+       1.6, 700, 7000);
+  type("search/recommend",
+       {{frontend, D(0.3), 0},
+        {search, D(1.5), D(0.6)},
+        {recommendation, D(10.5), D(0.8)},
+        {hotel_db, D(0.8), 0}},
+       1.6, 700, 8000);
+  // The "upstream" member: a complex multi-criteria search that bottlenecks
+  // on the search frontend itself (sequential dependency source).
+  type("search/complex",
+       {{frontend, D(0.3), 0},
+        {search, D(24.0), D(1.5)},
+        {hotel_db, D(1.0), 0}},
+       1.6, 900, 11000);
+
+  // Group B: reservations.
+  type("reserve/availability",
+       {{frontend, D(0.3), 0},
+        {reservation, D(1.5), D(0.6)},
+        {availability, D(9.5), D(0.8)},
+        {booking_db, D(0.8), 0}},
+       1.6, 800, 3000);
+  type("reserve/book",
+       {{frontend, D(0.3), 0},
+        {reservation, D(1.6), D(0.7)},
+        {payment, D(10.0), D(0.8)},
+        {payment_gateway, D(1.0), 0}},
+       1.6, 1200, 1500);
+  type("reserve/history",
+       {{frontend, D(0.3), 0},
+        {reservation, D(1.5), D(0.6)},
+        {booking_records, D(9.0), D(0.8)},
+        {booking_db, D(0.7), 0}},
+       1.6, 600, 5000);
+
+  // Independent singleton paths.
+  type("user/login",
+       {{frontend, D(0.3), 0},
+        {user, D(7.0), D(0.8)},
+        {user_db, D(0.6), 0}},
+       1.5, 500, 900);
+  type("profile/view",
+       {{frontend, D(0.3), 0},
+        {profile, D(8.0), D(0.8)},
+        {profile_db, D(0.7), 0}},
+       1.6, 500, 6000);
+
+  b.AddStaticEndpoint("static/map-tile.png", 400, 60000);
+
+  ScenarioSpec scenario;
+  scenario.name = "hotelreservation";
+  scenario.description =
+      "HotelReservation-style travel-booking topology (two fan-in "
+      "dependency groups), browse-heavy closed-loop users";
+  scenario.topology = std::move(b).Build();
+  // Travel sites are browse-heavy: many searches per booking.
+  scenario.workload = ClosedLoop(p.users > 0 ? p.users : 5000,
+                                 {{"search/nearby", 16},
+                                  {"search/rates", 14},
+                                  {"search/recommend", 12},
+                                  {"search/complex", 6},
+                                  {"reserve/availability", 13},
+                                  {"reserve/book", 8},
+                                  {"reserve/history", 10},
+                                  {"user/login", 6},
+                                  {"profile/view", 8},
+                                  {"static/map-tile.png", 3}});
+  return scenario;
+}
+
+}  // namespace grunt::scenario

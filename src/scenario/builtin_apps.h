@@ -1,0 +1,46 @@
+#pragma once
+
+// Spec-first construction of the built-in application scenarios. These are
+// the declarative ports of the topologies that used to be hard-coded in
+// src/apps — the apps' Make* factories are now thin wrappers over
+// BuildApplication(...) of what these functions return, and the shipped
+// files under specs/ are their dumps at default parameters.
+
+#include <cstdint>
+#include <optional>
+
+#include "scenario/spec.h"
+
+namespace grunt::scenario {
+
+/// Deployment knobs shared by the built-in scenarios (the union of the
+/// apps' per-topology Options structs; fields a topology does not use are
+/// ignored — e.g. queue_scale only affects SocialNetwork).
+struct DeploymentParams {
+  /// Scales the initial replica count of backend services.
+  std::int32_t replica_scale = 1;
+  /// Relative capacity of the hosting cloud (EC2 = 1.0).
+  double capacity_scale = 1.0;
+  microsvc::ServiceTimeDist dist = microsvc::ServiceTimeDist::kExponential;
+  /// Multiplies every backend service's thread-pool (queue) size.
+  double queue_scale = 1.0;
+  /// Fault-tolerance deployment, all off by default (paper configuration).
+  std::optional<microsvc::RpcPolicy> default_rpc;
+  std::int32_t max_queue_per_replica = 0;
+  std::int32_t breaker_threshold = 0;
+  SimDuration breaker_cooldown = Ms(500);
+  /// Closed-loop population; 0 keeps the scenario's reference default
+  /// (SocialNetwork 7000, HotelReservation 5000).
+  std::int32_t users = 0;
+};
+
+/// DeathStarBench SocialNetwork (Fig 12a): nginx gateway, compose-post
+/// fan-in, home-/user-timeline read fan-ins, storage backends; 13 dynamic
+/// endpoints + 1 static, forming three dependency groups + singletons.
+ScenarioSpec SocialNetworkScenario(const DeploymentParams& params = {});
+
+/// HotelReservation-style travel-booking topology: search and reservation
+/// fan-ins plus independent login/profile paths (two dependency groups).
+ScenarioSpec HotelReservationScenario(const DeploymentParams& params = {});
+
+}  // namespace grunt::scenario

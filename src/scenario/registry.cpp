@@ -1,0 +1,72 @@
+#include "scenario/registry.h"
+
+#include <stdexcept>
+
+#include "scenario/builtin_apps.h"
+#include "scenario/generate.h"
+
+namespace grunt::scenario {
+
+namespace {
+
+ScenarioSpec MubenchAtScale(std::int32_t services) {
+  MubenchParams params;
+  params.services = services;
+  // Seeds follow bench_table4_live: seed = service count.
+  return GenerateMubench(static_cast<std::uint64_t>(services), params);
+}
+
+}  // namespace
+
+const std::vector<RegisteredScenario>& BuiltinScenarios() {
+  static const std::vector<RegisteredScenario> kBuiltins = {
+      {"socialnetwork",
+       "DeathStarBench SocialNetwork, 7000 closed-loop users (Table I "
+       "reference)",
+       [] { return SocialNetworkScenario(); }},
+      {"hotelreservation",
+       "HotelReservation travel-booking topology, 5000 closed-loop users",
+       [] { return HotelReservationScenario(); }},
+      {"mubench-62", "generated unknown-architecture app, 62 services "
+                     "(Table IV App.1)",
+       [] { return MubenchAtScale(62); }},
+      {"mubench-118", "generated unknown-architecture app, 118 services "
+                      "(Table IV App.2)",
+       [] { return MubenchAtScale(118); }},
+      {"mubench-196", "generated unknown-architecture app, 196 services "
+                      "(Table IV App.3)",
+       [] { return MubenchAtScale(196); }},
+  };
+  return kBuiltins;
+}
+
+std::optional<ScenarioSpec> MakeBuiltin(std::string_view name) {
+  for (const auto& builtin : BuiltinScenarios()) {
+    if (builtin.name == name) return builtin.make();
+  }
+  return std::nullopt;
+}
+
+ScenarioSpec ResolveScenario(const std::string& name_or_path) {
+  if (auto builtin = MakeBuiltin(name_or_path)) return *std::move(builtin);
+  // Heuristic: a bare word that is not a builtin is more likely a typo than
+  // a file in the working directory; require path-ish arguments for files.
+  if (name_or_path.find('/') == std::string::npos &&
+      name_or_path.find('.') == std::string::npos) {
+    throw std::invalid_argument("unknown scenario \"" + name_or_path +
+                                "\" (not a builtin; spec files need a path "
+                                "or .json suffix)\nbuiltins:\n" +
+                                ListScenariosText());
+  }
+  return LoadScenarioFile(name_or_path);
+}
+
+std::string ListScenariosText() {
+  std::string out;
+  for (const auto& builtin : BuiltinScenarios()) {
+    out += "  " + builtin.name + " - " + builtin.description + "\n";
+  }
+  return out;
+}
+
+}  // namespace grunt::scenario

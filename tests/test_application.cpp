@@ -107,6 +107,63 @@ TEST(ApplicationTopology, PathAndSharedServiceQueries) {
   EXPECT_EQ(app.TypesThrough(wa).size(), 1u);
 }
 
+TEST(ApplicationTopology, DisjointPathsShareNothing) {
+  Application::Builder b;
+  const ServiceId s1 = b.AddService(Svc("s1", 4, 1));
+  const ServiceId s2 = b.AddService(Svc("s2", 4, 1));
+  const auto ta = b.AddRequestType(Type("a", {{s1, Us(10), 0}}));
+  const auto tb = b.AddRequestType(Type("b", {{s2, Us(10), 0}}));
+  const Application app = std::move(b).Build();
+  EXPECT_TRUE(app.SharedServices(ta, tb).empty());
+  EXPECT_EQ(app.PathServices(ta), (std::vector<ServiceId>{s1}));
+  EXPECT_EQ(app.PathServices(tb), (std::vector<ServiceId>{s2}));
+  // A type always fully shares with itself.
+  EXPECT_EQ(app.SharedServices(ta, ta), app.PathServices(ta));
+}
+
+TEST(ApplicationTopology, StaticTypeHasEmptyPath) {
+  Application::Builder b;
+  const ServiceId s = b.AddService(Svc("s", 4, 1));
+  const auto dyn = b.AddRequestType(Type("dyn", {{s, Us(10), 0}}));
+  RequestTypeSpec st;
+  st.name = "static/a.png";
+  st.is_static = true;
+  const auto stat = b.AddRequestType(st);
+  const Application app = std::move(b).Build();
+  EXPECT_TRUE(app.PathServices(stat).empty());
+  EXPECT_TRUE(app.SharedServices(dyn, stat).empty());
+  EXPECT_FALSE(app.HopIndexOf(stat, s).has_value());
+}
+
+TEST(ApplicationLookup, IndexedNameLookupsCoverAllEntries) {
+  // FindService/FindRequestType are hash-indexed; every registered name must
+  // resolve to its own id, and lookups are exact (case-sensitive, no
+  // prefixes).
+  Application::Builder b;
+  std::vector<ServiceId> svcs;
+  for (int i = 0; i < 64; ++i) {
+    svcs.push_back(b.AddService(Svc("svc-" + std::to_string(i), 4, 1)));
+  }
+  for (int i = 0; i < 64; ++i) {
+    b.AddRequestType(Type("api/t" + std::to_string(i),
+                          {{svcs[static_cast<std::size_t>(i)], Us(10), 0}}));
+  }
+  const Application app = std::move(b).Build();
+  for (int i = 0; i < 64; ++i) {
+    const auto sid = app.FindService("svc-" + std::to_string(i));
+    ASSERT_TRUE(sid.has_value()) << i;
+    EXPECT_EQ(app.service(*sid).name, "svc-" + std::to_string(i));
+    const auto tid = app.FindRequestType("api/t" + std::to_string(i));
+    ASSERT_TRUE(tid.has_value()) << i;
+    EXPECT_EQ(app.request_type(*tid).name, "api/t" + std::to_string(i));
+  }
+  EXPECT_FALSE(app.FindService("svc-64").has_value());
+  EXPECT_FALSE(app.FindService("SVC-0").has_value());
+  EXPECT_FALSE(app.FindService("svc").has_value());
+  EXPECT_FALSE(app.FindRequestType("api/t64").has_value());
+  EXPECT_FALSE(app.FindRequestType("").has_value());
+}
+
 TEST(ApplicationTopology, PublicDynamicTypesExcludesStatic) {
   Application::Builder b;
   const ServiceId s = b.AddService(Svc("s", 4, 1));
