@@ -17,6 +17,9 @@ int main() {
 
   const CloudSetting setting{"EC2-12K", 12000, 1.0, 2};
   SocialNetworkRig rig(setting, 12);
+  // 12K closed-loop users for up to 20 simulated minutes: bound the
+  // completion log (the monitors sample via listeners, not the vector).
+  rig.cluster().SetCompletionLogBound(200000);
   rig.RunUntil(Sec(40));
   const auto profile =
       TruthProfile(rig.app(), SocialNetworkRates(rig.app(), setting.users));

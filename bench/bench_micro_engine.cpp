@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "attack/kalman.h"
@@ -254,13 +255,20 @@ void WriteEngineJson() {
   const double heap_eps = MeasureEventsPerSec(/*heap_path=*/true);
 
   constexpr std::size_t kJobs = 8;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
   const unsigned par_threads = util::ParallelRunner::DefaultThreads();
-  std::fprintf(stderr,
-               "timing %zu mini-campaigns at 1 and %u threads...\n", kJobs,
-               par_threads);
+  // A speedup measured against itself on a 1-thread box is noise, not data:
+  // record the topology and skip the comparison entirely.
+  const bool can_compare = par_threads > 1;
+  std::fprintf(stderr, "timing %zu mini-campaigns at 1%s threads...\n", kJobs,
+               can_compare ? " and N" : "");
   const CampaignTiming serial = TimeCampaigns(1, kJobs);
-  const CampaignTiming parallel = TimeCampaigns(par_threads, kJobs);
-  const bool identical = serial.hashes == parallel.hashes;
+  CampaignTiming parallel;
+  bool identical = false;
+  if (can_compare) {
+    parallel = TimeCampaigns(par_threads, kJobs);
+    identical = serial.hashes == parallel.hashes;
+  }
 
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -276,19 +284,29 @@ void WriteEngineJson() {
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"campaign_fanout\": {\n");
   std::fprintf(f, "    \"jobs\": %zu,\n", kJobs);
-  std::fprintf(f, "    \"wall_sec_1_thread\": %.3f,\n", serial.wall_sec);
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n", hw_threads);
   std::fprintf(f, "    \"threads\": %u,\n", par_threads);
-  std::fprintf(f, "    \"wall_sec_n_threads\": %.3f,\n", parallel.wall_sec);
-  std::fprintf(f, "    \"speedup\": %.2f,\n",
-               parallel.wall_sec > 0 ? serial.wall_sec / parallel.wall_sec
-                                     : 0.0);
-  std::fprintf(f, "    \"results_identical\": %s\n",
-               identical ? "true" : "false");
+  std::fprintf(f, "    \"wall_sec_1_thread\": %.3f,\n", serial.wall_sec);
+  if (can_compare) {
+    std::fprintf(f, "    \"wall_sec_n_threads\": %.3f,\n", parallel.wall_sec);
+    std::fprintf(f, "    \"speedup\": %.2f,\n",
+                 parallel.wall_sec > 0 ? serial.wall_sec / parallel.wall_sec
+                                       : 0.0);
+    std::fprintf(f, "    \"results_identical\": %s\n",
+                 identical ? "true" : "false");
+  } else {
+    std::fprintf(f, "    \"speedup\": null,\n");
+    std::fprintf(f, "    \"speedup_skipped\": \"only 1 thread available\"\n");
+  }
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::fprintf(stderr, "wrote %s (results_identical=%s)\n", path,
-               identical ? "true" : "false");
+  if (can_compare) {
+    std::fprintf(stderr, "wrote %s (results_identical=%s)\n", path,
+                 identical ? "true" : "false");
+  } else {
+    std::fprintf(stderr, "wrote %s (speedup skipped: 1 thread)\n", path);
+  }
 }
 
 }  // namespace

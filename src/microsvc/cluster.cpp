@@ -7,51 +7,21 @@
 
 namespace grunt::microsvc {
 
-/// Per-request mutable state shared by the lifecycle closures.
-struct Cluster::ActiveRequest {
-  std::uint64_t id = 0;
-  RequestTypeId type = kInvalidRequestType;
-  RequestClass cls = RequestClass::kLegit;
-  bool heavy = false;
-  std::uint64_t client_id = 0;
-  SimTime start = 0;
-  SimTime deadline = 0;  ///< absolute; 0 = none
-  std::int32_t retries = 0;
-  bool terminal = false;  ///< guards the exactly-one-outcome invariant
-  CompletionCallback on_complete;
-  /// Per-hop trace timestamps (filled as the request advances; a retried
-  /// hop records its last attempt).
-  struct HopTrace {
-    SimTime arrived = 0;
-    SimTime slot_granted = 0;
-    SimTime finished = 0;
-  };
-  std::vector<HopTrace> traces;
-};
-
-/// Caller-side state of one RPC attempt into `hop`. The timeout timer, the
-/// reply and the rejection message all race to ResolveCall; the first wins,
-/// later arrivals (e.g. an orphan attempt's late reply) are discarded.
-struct Cluster::CallState {
-  std::shared_ptr<ActiveRequest> req;
-  std::size_t hop = 0;
-  std::int32_t attempt = 0;
-  ServiceId caller = kInvalidService;
-  bool resolved = false;
-  bool sent = false;  ///< actually issued (false: breaker/deadline fast-fail)
-  bool deadline_limited = false;  ///< timeout truncated by the deadline
-  sim::EventHandle timeout;
-  std::function<void(Outcome)> on_result;
-};
-
-/// Callee-side state of one attempt's hop execution. `resolve` sends the
-/// reply (or error) upstream — it pays the reply's network latency and then
-/// races against the caller's timeout inside ResolveCall.
-struct Cluster::HopCtx {
-  std::shared_ptr<ActiveRequest> req;
-  std::size_t hop = 0;
-  std::function<void(Outcome)> resolve;
-};
+// The lifecycle below is the pooled rewrite of the original shared_ptr +
+// std::function implementation. Observable behaviour is bit-identical: every
+// sim_.After() call, RNG draw and Service interaction happens at the same
+// point in the same order as before (pinned by the golden completion-stream
+// hash tests), only the storage of the in-flight state changed. Three
+// invariants carry the memory safety:
+//  * a CallState slot is released the moment the attempt resolves — any
+//    later reply/timeout carries a stale handle and is dropped by the pool's
+//    generation check (this replaces the old `resolved` flag);
+//  * a HopCtx slot is released at its terminal transition (FinishHop,
+//    AbortHop, or load-shed rejection on arrival);
+//  * an ActiveRequest slot is released when it is terminal AND the last
+//    referencing record/closure (including draining orphan subtrees) lets
+//    go — `refs` counts CallStates, HopCtxs and scheduled retry/static
+//    closures.
 
 Cluster::Cluster(sim::Simulation& sim, const Application& app,
                  std::uint64_t seed)
@@ -63,6 +33,10 @@ Cluster::Cluster(sim::Simulation& sim, const Application& app,
         sim_, app.service(static_cast<ServiceId>(i)),
         static_cast<ServiceId>(i)));
   }
+}
+
+Cluster::LifecycleStats Cluster::lifecycle_stats() const {
+  return LifecycleStats{requests_.stats(), calls_.stats(), hops_.stats()};
 }
 
 SimDuration Cluster::DrawDemand(SimDuration mean, double multiplier) {
@@ -89,229 +63,313 @@ SimDuration Cluster::BackoffDelay(const RpcPolicy& policy,
   return std::max<SimDuration>(0, static_cast<SimDuration>(std::llround(delay)));
 }
 
+void Cluster::Unref(sim::PoolHandle req_h) {
+  ActiveRequest& req = requests_[req_h];
+  if (--req.refs > 0) return;
+  assert(req.terminal && "request record dropped before completing");
+  // Drop caller-captured state now instead of at the slot's next reuse.
+  req.on_complete = nullptr;
+  requests_.Release(req_h);
+}
+
 std::uint64_t Cluster::Submit(RequestTypeId type, RequestClass cls, bool heavy,
                               std::uint64_t client_id,
                               CompletionCallback on_complete) {
   const auto& spec = app_.request_type(type);
-  auto req = std::make_shared<ActiveRequest>();
-  req->id = next_request_id_++;
-  req->type = type;
-  req->cls = cls;
-  req->heavy = heavy;
-  req->client_id = client_id;
-  req->start = sim_.Now();
-  req->deadline = spec.deadline > 0 ? sim_.Now() + spec.deadline : 0;
-  req->on_complete = std::move(on_complete);
-  req->traces.resize(spec.hops.size());
+  const sim::PoolHandle req_h = requests_.Acquire();
+  ActiveRequest& req = requests_[req_h];
+  req.id = next_request_id_++;
+  req.type = type;
+  req.cls = cls;
+  req.heavy = heavy;
+  req.terminal = false;
+  req.refs = 0;
+  req.client_id = client_id;
+  req.start = sim_.Now();
+  req.deadline = spec.deadline > 0 ? sim_.Now() + spec.deadline : 0;
+  req.retries = 0;
+  req.on_complete = std::move(on_complete);
+  // assign (not resize): the recycled vector may hold stale entries.
+  req.traces.assign(spec.hops.size(), HopTrace{});
 
   gateway_bytes_ += spec.request_bytes;
   for (const auto& listener : submit_listeners_) {
     listener(type, cls, client_id, sim_.Now());
   }
 
+  const std::uint64_t rid = req.id;
   if (spec.is_static || spec.hops.empty()) {
     // Served by the gateway/CDN without touching the backend: constant small
     // latency, no backend load. (Sec VI "Limitations": static requests
     // escape the attack entirely.)
-    sim_.After(NetLatency() * 2,
-               [this, req] { CompleteWith(req, Outcome::kOk); });
-    return req->id;
+    Ref(req);
+    sim_.After(NetLatency() * 2, [this, req_h] {
+      CompleteWith(req_h, Outcome::kOk);
+      Unref(req_h);
+    });
+    return rid;
   }
 
-  const std::uint64_t rid = req->id;
-  IssueCall(req, 0, kInvalidService, 0,
-            [this, req](Outcome o) { CompleteWith(req, o); });
+  IssueCall(req_h, 0, kInvalidService, 0, sim::PoolHandle{});
   return rid;
 }
 
-void Cluster::IssueCall(std::shared_ptr<ActiveRequest> req, std::size_t hop,
+void Cluster::IssueCall(sim::PoolHandle req_h, std::uint32_t hop,
                         ServiceId caller, std::int32_t attempt,
-                        std::function<void(Outcome)> on_result) {
-  auto call = std::make_shared<CallState>();
-  call->req = req;
-  call->hop = hop;
-  call->attempt = attempt;
-  call->caller = caller;
-  call->on_result = std::move(on_result);
+                        sim::PoolHandle parent_hop) {
+  ActiveRequest& req = requests_[req_h];
+  const sim::PoolHandle call_h = calls_.Acquire();
+  CallState& call = calls_[call_h];
+  call.req = req_h;
+  call.parent_hop = parent_hop;
+  call.hop = hop;
+  call.attempt = attempt;
+  call.caller = caller;
+  call.sent = false;
+  call.deadline_limited = false;
+  call.timeout = sim::EventHandle{};
+  Ref(req);
 
   // End-to-end deadline gate: no budget left, fail without sending.
-  if (req->deadline > 0 && sim_.Now() >= req->deadline) {
-    sim_.After(0, [this, call] {
-      ResolveCall(call, Outcome::kDeadlineExceeded);
+  if (req.deadline > 0 && sim_.Now() >= req.deadline) {
+    sim_.After(0, [this, call_h] {
+      ResolveCall(call_h, Outcome::kDeadlineExceeded);
     });
     return;
   }
 
-  const Hop& h = app_.request_type(req->type).hops[hop];
+  const Hop& h = app_.request_type(req.type).hops[hop];
   Service& callee = service(h.service);
 
   // Circuit breaker fast-fail: no network round trip, no load on the callee.
   if (!callee.BreakerAllows(caller)) {
-    sim_.After(0, [this, call] { ResolveCall(call, Outcome::kRejected); });
+    sim_.After(0, [this, call_h] { ResolveCall(call_h, Outcome::kRejected); });
     return;
   }
 
-  call->sent = true;
+  call.sent = true;
   // Per-attempt timeout, truncated to the remaining deadline budget
   // (deadline propagation: downstream hops inherit the shrinking budget).
-  const RpcPolicy& policy = app_.rpc_policy(req->type, hop);
+  const RpcPolicy& policy = app_.rpc_policy(req.type, hop);
   SimDuration timeout = policy.timeout;
-  if (req->deadline > 0) {
-    const SimDuration remaining = req->deadline - sim_.Now();
+  if (req.deadline > 0) {
+    const SimDuration remaining = req.deadline - sim_.Now();
     if (timeout == 0 || remaining < timeout) {
       timeout = remaining;
-      call->deadline_limited = true;
+      call.deadline_limited = true;
     }
   }
   if (timeout > 0) {
-    call->timeout = sim_.After(timeout, [this, call] {
-      ResolveCall(call, call->deadline_limited ? Outcome::kDeadlineExceeded
-                                               : Outcome::kTimeout);
+    call.timeout = sim_.After(timeout, [this, call_h] {
+      const CallState* c = calls_.Get(call_h);
+      if (c == nullptr) return;  // already resolved
+      ResolveCall(call_h, c->deadline_limited ? Outcome::kDeadlineExceeded
+                                              : Outcome::kTimeout);
     });
   }
 
-  auto ctx = std::make_shared<HopCtx>();
-  ctx->req = req;
-  ctx->hop = hop;
-  ctx->resolve = [this, call](Outcome o) {
-    // The reply (or error/rejection response) travels back over the network.
-    sim_.After(NetLatency(), [this, call, o] { ResolveCall(call, o); });
-  };
-  sim_.After(NetLatency(), [this, ctx] { CallArrives(ctx); });
+  const sim::PoolHandle hop_h = hops_.Acquire();
+  HopCtx& ctx = hops_[hop_h];
+  ctx.req = req_h;
+  ctx.call = call_h;
+  ctx.hop = hop;
+  Ref(req);
+  sim_.After(NetLatency(), [this, hop_h] { CallArrives(hop_h); });
 }
 
-void Cluster::ResolveCall(const std::shared_ptr<CallState>& call, Outcome o) {
-  if (call->resolved) return;  // late reply of a timed-out (orphan) attempt
-  call->resolved = true;
+void Cluster::ResolveCall(sim::PoolHandle call_h, Outcome o) {
+  CallState* call = calls_.Get(call_h);
+  if (call == nullptr) return;  // late reply of a timed-out (orphan) attempt
   call->timeout.Cancel();
-  const Hop& h = app_.request_type(call->req->type).hops[call->hop];
-  if (call->sent) {
-    service(h.service).ReportCallerOutcome(call->caller, o == Outcome::kOk);
+  const sim::PoolHandle req_h = call->req;
+  const sim::PoolHandle parent_hop = call->parent_hop;
+  const std::uint32_t hop = call->hop;
+  const std::int32_t attempt = call->attempt;
+  const ServiceId caller = call->caller;
+  const bool sent = call->sent;
+  // Releasing the slot is what marks the attempt resolved: the timeout, the
+  // reply and the rejection race here, and every racer after the first now
+  // holds a stale handle.
+  calls_.Release(call_h);
+
+  ActiveRequest& req = requests_[req_h];
+  const Hop& h = app_.request_type(req.type).hops[hop];
+  if (sent) {
+    service(h.service).ReportCallerOutcome(caller, o == Outcome::kOk);
   }
   if (o == Outcome::kOk) {
-    call->on_result(Outcome::kOk);
+    ContinueAfterCall(req_h, parent_hop, Outcome::kOk);
+    Unref(req_h);
     return;
   }
   // Retry decision. A spent deadline can never be retried into.
-  const RpcPolicy& policy = app_.rpc_policy(call->req->type, call->hop);
-  if (o != Outcome::kDeadlineExceeded && call->attempt < policy.max_retries) {
-    ++call->req->retries;
-    const SimDuration delay = BackoffDelay(policy, call->attempt);
-    sim_.After(delay, [this, req = call->req, hop = call->hop,
-                       caller = call->caller, next = call->attempt + 1,
-                       on_result = std::move(call->on_result)]() mutable {
-      IssueCall(req, hop, caller, next, std::move(on_result));
-    });
+  const RpcPolicy& policy = app_.rpc_policy(req.type, hop);
+  if (o != Outcome::kDeadlineExceeded && attempt < policy.max_retries) {
+    ++req.retries;
+    const SimDuration delay = BackoffDelay(policy, attempt);
+    Ref(req);  // kept alive by the scheduled retry
+    sim_.After(delay,
+               [this, req_h, hop, caller, next = attempt + 1, parent_hop] {
+                 IssueCall(req_h, hop, caller, next, parent_hop);
+                 Unref(req_h);
+               });
+    Unref(req_h);
     return;
   }
-  call->on_result(o);
+  ContinueAfterCall(req_h, parent_hop, o);
+  Unref(req_h);
 }
 
-void Cluster::CallArrives(std::shared_ptr<HopCtx> ctx) {
-  ctx->req->traces[ctx->hop].arrived = sim_.Now();
-  Service& svc = service(app_.request_type(ctx->req->type).hops[ctx->hop].service);
-  if (!svc.AcquireSlot([this, ctx] { OnSlotGranted(ctx); })) {
+void Cluster::ContinueAfterCall(sim::PoolHandle req_h,
+                                sim::PoolHandle parent_hop, Outcome o) {
+  if (!parent_hop) {
+    // Hop-0 edge: the outcome reaches the client.
+    CompleteWith(req_h, o);
+    return;
+  }
+  if (o != Outcome::kOk) {
+    // Downstream gave up: skip the post-reply burst, release the slot and
+    // propagate the error upstream.
+    AbortHop(parent_hop, o);
+    return;
+  }
+  HopCtx& ctx = hops_[parent_hop];
+  ActiveRequest& req = requests_[req_h];
+  const auto& spec = app_.request_type(req.type);
+  const Hop& h = spec.hops[ctx.hop];
+  const double mult = req.heavy ? spec.heavy_multiplier : 1.0;
+  service(h.service).RunCpu(
+      DrawDemand(h.post_demand, mult),
+      [this, parent_hop] { FinishHop(parent_hop); },
+      [this, parent_hop] { AbortHop(parent_hop, Outcome::kFailed); });
+}
+
+void Cluster::CallArrives(sim::PoolHandle hop_h) {
+  HopCtx& ctx = hops_[hop_h];
+  const sim::PoolHandle req_h = ctx.req;
+  ActiveRequest& req = requests_[req_h];
+  req.traces[ctx.hop].arrived = sim_.Now();
+  Service& svc = service(app_.request_type(req.type).hops[ctx.hop].service);
+  if (!svc.AcquireSlot([this, hop_h] { OnSlotGranted(hop_h); })) {
     // Load shed: bounded arrival queue is full; the rejection response
     // travels back to the caller immediately.
-    ctx->resolve(Outcome::kRejected);
+    const sim::PoolHandle call_h = ctx.call;
+    sim_.After(NetLatency(), [this, call_h] {
+      ResolveCall(call_h, Outcome::kRejected);
+    });
+    hops_.Release(hop_h);
+    Unref(req_h);
   }
 }
 
-void Cluster::OnSlotGranted(std::shared_ptr<HopCtx> ctx) {
-  ctx->req->traces[ctx->hop].slot_granted = sim_.Now();
-  const auto& spec = app_.request_type(ctx->req->type);
-  const Hop& h = spec.hops[ctx->hop];
-  const double mult = ctx->req->heavy ? spec.heavy_multiplier : 1.0;
-  const bool last = (ctx->hop + 1 == spec.hops.size());
+void Cluster::OnSlotGranted(sim::PoolHandle hop_h) {
+  HopCtx& ctx = hops_[hop_h];
+  ActiveRequest& req = requests_[ctx.req];
+  req.traces[ctx.hop].slot_granted = sim_.Now();
+  const auto& spec = app_.request_type(req.type);
+  const Hop& h = spec.hops[ctx.hop];
+  const double mult = req.heavy ? spec.heavy_multiplier : 1.0;
+  const bool last = (ctx.hop + 1 == spec.hops.size());
   // The last hop has no downstream call: fold pre+post into one burst.
   const SimDuration demand =
       last ? DrawDemand(h.cpu_demand + h.post_demand, mult)
            : DrawDemand(h.cpu_demand, mult);
   service(h.service).RunCpu(
-      demand, [this, ctx] { AfterPreCpu(ctx); },
-      [this, ctx] { AbortHop(ctx, Outcome::kFailed); });
+      demand, [this, hop_h] { AfterPreCpu(hop_h); },
+      [this, hop_h] { AbortHop(hop_h, Outcome::kFailed); });
 }
 
-void Cluster::AfterPreCpu(std::shared_ptr<HopCtx> ctx) {
-  const auto& spec = app_.request_type(ctx->req->type);
-  if (ctx->hop + 1 < spec.hops.size()) {
-    // Synchronous downstream call; this hop's slot stays held.
-    IssueCall(ctx->req, ctx->hop + 1, spec.hops[ctx->hop].service, 0,
-              [this, ctx](Outcome o) {
-                if (o != Outcome::kOk) {
-                  // Downstream gave up: skip the post-reply burst, release
-                  // the slot and propagate the error upstream.
-                  AbortHop(ctx, o);
-                  return;
-                }
-                const auto& s = app_.request_type(ctx->req->type);
-                const Hop& h = s.hops[ctx->hop];
-                const double mult =
-                    ctx->req->heavy ? s.heavy_multiplier : 1.0;
-                service(h.service).RunCpu(
-                    DrawDemand(h.post_demand, mult),
-                    [this, ctx] { FinishHop(ctx); },
-                    [this, ctx] { AbortHop(ctx, Outcome::kFailed); });
-              });
+void Cluster::AfterPreCpu(sim::PoolHandle hop_h) {
+  HopCtx& ctx = hops_[hop_h];
+  const sim::PoolHandle req_h = ctx.req;
+  const auto& spec = app_.request_type(requests_[req_h].type);
+  if (ctx.hop + 1 < spec.hops.size()) {
+    // Synchronous downstream call; this hop's slot stays held. The edge's
+    // outcome comes back through ContinueAfterCall with us as parent.
+    IssueCall(req_h, ctx.hop + 1, spec.hops[ctx.hop].service, 0, hop_h);
   } else {
-    FinishHop(ctx);
+    FinishHop(hop_h);
   }
 }
 
-void Cluster::EmitSpan(const HopCtx& ctx) {
+void Cluster::EmitSpan(const HopCtx& ctx, const ActiveRequest& req) {
   if (span_sink_ == nullptr) return;
-  const auto& spec = app_.request_type(ctx.req->type);
+  const auto& spec = app_.request_type(req.type);
   SpanEvent span;
-  span.request_id = ctx.req->id;
-  span.type = ctx.req->type;
-  span.cls = ctx.req->cls;
+  span.request_id = req.id;
+  span.type = req.type;
+  span.cls = req.cls;
   span.service = spec.hops[ctx.hop].service;
-  span.hop_index = static_cast<std::uint32_t>(ctx.hop);
-  span.arrived = ctx.req->traces[ctx.hop].arrived;
-  span.slot_granted = ctx.req->traces[ctx.hop].slot_granted;
-  span.finished = ctx.req->traces[ctx.hop].finished;
+  span.hop_index = ctx.hop;
+  span.arrived = req.traces[ctx.hop].arrived;
+  span.slot_granted = req.traces[ctx.hop].slot_granted;
+  span.finished = req.traces[ctx.hop].finished;
   span_sink_->OnSpan(span);
 }
 
-void Cluster::FinishHop(std::shared_ptr<HopCtx> ctx) {
-  ctx->req->traces[ctx->hop].finished = sim_.Now();
-  const auto& spec = app_.request_type(ctx->req->type);
-  service(spec.hops[ctx->hop].service).ReleaseSlot();
-  EmitSpan(*ctx);
-  ctx->resolve(Outcome::kOk);
+void Cluster::FinishHop(sim::PoolHandle hop_h) {
+  HopCtx& ctx = hops_[hop_h];
+  const sim::PoolHandle req_h = ctx.req;
+  ActiveRequest& req = requests_[req_h];
+  req.traces[ctx.hop].finished = sim_.Now();
+  const auto& spec = app_.request_type(req.type);
+  service(spec.hops[ctx.hop].service).ReleaseSlot();
+  EmitSpan(ctx, req);
+  // The reply travels back over the network, then races the caller's
+  // timeout inside ResolveCall.
+  const sim::PoolHandle call_h = ctx.call;
+  sim_.After(NetLatency(), [this, call_h] {
+    ResolveCall(call_h, Outcome::kOk);
+  });
+  hops_.Release(hop_h);
+  Unref(req_h);
 }
 
-void Cluster::AbortHop(std::shared_ptr<HopCtx> ctx, Outcome o) {
-  ctx->req->traces[ctx->hop].finished = sim_.Now();
-  const auto& spec = app_.request_type(ctx->req->type);
-  service(spec.hops[ctx->hop].service).ReleaseSlot();
-  EmitSpan(*ctx);
-  ctx->resolve(o);
+void Cluster::AbortHop(sim::PoolHandle hop_h, Outcome o) {
+  HopCtx& ctx = hops_[hop_h];
+  const sim::PoolHandle req_h = ctx.req;
+  ActiveRequest& req = requests_[req_h];
+  req.traces[ctx.hop].finished = sim_.Now();
+  const auto& spec = app_.request_type(req.type);
+  service(spec.hops[ctx.hop].service).ReleaseSlot();
+  EmitSpan(ctx, req);
+  const sim::PoolHandle call_h = ctx.call;
+  sim_.After(NetLatency(), [this, call_h, o] { ResolveCall(call_h, o); });
+  hops_.Release(hop_h);
+  Unref(req_h);
 }
 
-void Cluster::CompleteWith(std::shared_ptr<ActiveRequest> req, Outcome o) {
+void Cluster::CompleteWith(sim::PoolHandle req_h, Outcome o) {
+  ActiveRequest& req = requests_[req_h];
   // Exactly-one-terminal-outcome invariant: timeout, rejection and crash
   // paths all funnel here, and none may fire twice for one request.
-  assert(!req->terminal && "request completed twice");
-  if (req->terminal) return;
-  req->terminal = true;
-  const auto& spec = app_.request_type(req->type);
+  assert(!req.terminal && "request completed twice");
+  if (req.terminal) return;
+  req.terminal = true;
+  const auto& spec = app_.request_type(req.type);
   if (o == Outcome::kOk) gateway_bytes_ += spec.response_bytes;
   ++completed_count_;
   ++outcome_counts_[static_cast<std::size_t>(o)];
   CompletionRecord rec;
-  rec.request_id = req->id;
-  rec.type = req->type;
-  rec.cls = req->cls;
-  rec.heavy = req->heavy;
-  rec.client_id = req->client_id;
-  rec.start = req->start;
+  rec.request_id = req.id;
+  rec.type = req.type;
+  rec.cls = req.cls;
+  rec.heavy = req.heavy;
+  rec.client_id = req.client_id;
+  rec.start = req.start;
   rec.end = sim_.Now();
   rec.outcome = o;
-  rec.retries = req->retries;
+  rec.retries = req.retries;
   completions_.push_back(rec);
+  if (completion_bound_ > 0 && completions_.size() >= 2 * completion_bound_) {
+    // Bounded mode: compact down to the newest `completion_bound_` records.
+    completions_dropped_ += completions_.size() - completion_bound_;
+    completions_.erase(completions_.begin(),
+                       completions_.end() -
+                           static_cast<std::ptrdiff_t>(completion_bound_));
+  }
   for (const auto& listener : completion_listeners_) listener(rec);
-  if (req->on_complete) req->on_complete(rec);
+  if (req.on_complete) req.on_complete(rec);
 }
 
 }  // namespace grunt::microsvc

@@ -11,6 +11,7 @@
 #include "microsvc/span_sink.h"
 #include "microsvc/types.h"
 #include "sim/simulation.h"
+#include "sim/slab_pool.h"
 #include "util/rng.h"
 
 namespace grunt::microsvc {
@@ -54,6 +55,18 @@ struct CompletionRecord {
 /// budget. Failures (timeout, load-shed rejection, replica-crash kill)
 /// propagate upstream as error replies: each upstream hop skips its
 /// post-reply burst, releases its slot, and may itself retry.
+///
+/// The lifecycle is an explicit state machine over three slab-pooled record
+/// kinds addressed by generation-checked handles (sim::PoolHandle, the
+/// sim::EventHandle idiom): ActiveRequest (one per request), CallState (one
+/// per RPC attempt, caller side) and HopCtx (one per attempt's hop
+/// execution, callee side). Event closures carry `this` plus a handle — a
+/// few words, always inside the engine's inline buffer — so the steady-state
+/// request path schedules, fires and completes without touching the
+/// allocator. A CallState's slot is released the instant the attempt
+/// resolves; the late reply of an orphaned attempt carries a stale handle
+/// and is discarded by the generation check, which replaces the old
+/// `resolved` flag + shared_ptr keep-alive.
 class Cluster {
  public:
   using CompletionCallback = std::function<void(const CompletionRecord&)>;
@@ -82,13 +95,28 @@ class Cluster {
   /// count only their request bytes (the error reply is negligible).
   std::int64_t gateway_bytes() const { return gateway_bytes_; }
 
-  /// Every completed request, in completion order.
+  /// Every completed request, in completion order. In bounded mode (see
+  /// SetCompletionLogBound) only a suffix of the stream is retained — still
+  /// contiguous and in completion order.
   const std::vector<CompletionRecord>& completions() const {
     return completions_;
   }
   /// Frees the completion log (long-running benches call this periodically
   /// after draining what they need).
   void ClearCompletions() { completions_.clear(); }
+
+  /// Opt-in bounded completion log for long-running simulations: retains at
+  /// least the most recent `n` records and compacts (amortized O(1)) when
+  /// the log reaches 2n, so memory stays O(n) even when the caller never
+  /// calls ClearCompletions(). 0 (the default) = unbounded. Listeners and
+  /// per-request callbacks always see every record either way.
+  void SetCompletionLogBound(std::size_t n) {
+    completion_bound_ = n;
+    if (n > 0) completions_.reserve(2 * n);
+  }
+  std::size_t completion_log_bound() const { return completion_bound_; }
+  /// Completion records dropped by the bound so far.
+  std::uint64_t completions_dropped() const { return completions_dropped_; }
 
   std::uint64_t submitted_count() const { return next_request_id_; }
   /// Requests that reached a terminal outcome (any Outcome value).
@@ -123,24 +151,88 @@ class Cluster {
     completion_listeners_.push_back(std::move(listener));
   }
 
- private:
-  struct ActiveRequest;
-  struct CallState;
-  struct HopCtx;
+  /// Pool occupancy of the request state machine (bench/diagnostic surface).
+  struct LifecycleStats {
+    sim::SlabPoolStats requests;
+    sim::SlabPoolStats calls;
+    sim::SlabPoolStats hops;
+  };
+  LifecycleStats lifecycle_stats() const;
 
-  /// Issues attempt `attempt` of the RPC edge into `hop`; `on_result` fires
-  /// exactly once with the edge's final outcome (after retries).
-  void IssueCall(std::shared_ptr<ActiveRequest> req, std::size_t hop,
-                 ServiceId caller, std::int32_t attempt,
-                 std::function<void(Outcome)> on_result);
-  void ResolveCall(const std::shared_ptr<CallState>& call, Outcome o);
-  void CallArrives(std::shared_ptr<HopCtx> ctx);
-  void OnSlotGranted(std::shared_ptr<HopCtx> ctx);
-  void AfterPreCpu(std::shared_ptr<HopCtx> ctx);
-  void FinishHop(std::shared_ptr<HopCtx> ctx);
-  void AbortHop(std::shared_ptr<HopCtx> ctx, Outcome o);
-  void EmitSpan(const HopCtx& ctx);
-  void CompleteWith(std::shared_ptr<ActiveRequest> req, Outcome o);
+ private:
+  /// Per-hop trace timestamps (a retried hop records its last attempt).
+  struct HopTrace {
+    SimTime arrived = 0;
+    SimTime slot_granted = 0;
+    SimTime finished = 0;
+  };
+
+  /// Per-request record. Pooled: `refs` counts the live CallState/HopCtx
+  /// records and scheduled retry/static-complete closures pointing at it;
+  /// the slot is recycled when the request is terminal and the last
+  /// reference (e.g. a draining orphan subtree) lets go. `traces` keeps its
+  /// capacity across recycling, so steady-state submits allocate nothing.
+  struct ActiveRequest {
+    std::uint64_t id = 0;
+    RequestTypeId type = kInvalidRequestType;
+    RequestClass cls = RequestClass::kLegit;
+    bool heavy = false;
+    bool terminal = false;  ///< guards the exactly-one-outcome invariant
+    std::int32_t refs = 0;
+    std::uint64_t client_id = 0;
+    SimTime start = 0;
+    SimTime deadline = 0;  ///< absolute; 0 = none
+    std::int32_t retries = 0;
+    CompletionCallback on_complete;
+    std::vector<HopTrace> traces;
+  };
+
+  /// Caller-side state of one RPC attempt into `hop`. The timeout timer,
+  /// the reply and the rejection message all race to ResolveCall; the first
+  /// wins and releases the slot, so later arrivals (e.g. an orphan
+  /// attempt's late reply) carry a stale handle and are discarded. The
+  /// continuation is not a closure but data: a null `parent_hop` means
+  /// "this is hop 0 — complete the request", anything else names the
+  /// upstream HopCtx waiting on this edge.
+  struct CallState {
+    sim::PoolHandle req;
+    sim::PoolHandle parent_hop;  ///< null: edge 0, outcome completes the request
+    std::uint32_t hop = 0;
+    std::int32_t attempt = 0;
+    ServiceId caller = kInvalidService;
+    bool sent = false;  ///< actually issued (false: breaker/deadline fast-fail)
+    bool deadline_limited = false;  ///< timeout truncated by the deadline
+    sim::EventHandle timeout;
+  };
+
+  /// Callee-side state of one attempt's hop execution. Terminal transitions
+  /// (FinishHop/AbortHop) send the reply upstream — it pays the reply's
+  /// network latency and then races against the caller's timeout inside
+  /// ResolveCall via the (possibly stale) `call` handle.
+  struct HopCtx {
+    sim::PoolHandle req;
+    sim::PoolHandle call;  ///< caller-side state this hop replies to
+    std::uint32_t hop = 0;
+  };
+
+  /// Issues attempt `attempt` of the RPC edge into `hop`; the edge's final
+  /// outcome (after retries) reaches `parent_hop` — or completes the
+  /// request when `parent_hop` is null — exactly once.
+  void IssueCall(sim::PoolHandle req_h, std::uint32_t hop, ServiceId caller,
+                 std::int32_t attempt, sim::PoolHandle parent_hop);
+  void ResolveCall(sim::PoolHandle call_h, Outcome o);
+  /// Feeds a resolved edge's outcome to its continuation.
+  void ContinueAfterCall(sim::PoolHandle req_h, sim::PoolHandle parent_hop,
+                         Outcome o);
+  void CallArrives(sim::PoolHandle hop_h);
+  void OnSlotGranted(sim::PoolHandle hop_h);
+  void AfterPreCpu(sim::PoolHandle hop_h);
+  void FinishHop(sim::PoolHandle hop_h);
+  void AbortHop(sim::PoolHandle hop_h, Outcome o);
+  void EmitSpan(const HopCtx& ctx, const ActiveRequest& req);
+  void CompleteWith(sim::PoolHandle req_h, Outcome o);
+  void Ref(ActiveRequest& req) { ++req.refs; }
+  void Unref(sim::PoolHandle req_h);
   SimDuration BackoffDelay(const RpcPolicy& policy, std::int32_t attempt);
   SimDuration DrawDemand(SimDuration mean, double multiplier);
   SimDuration NetLatency() const {
@@ -152,7 +244,12 @@ class Cluster {
   RngStream demand_rng_;
   RngStream retry_rng_;
   std::vector<std::unique_ptr<Service>> services_;
+  sim::SlabPool<ActiveRequest> requests_;
+  sim::SlabPool<CallState> calls_;
+  sim::SlabPool<HopCtx> hops_;
   std::vector<CompletionRecord> completions_;
+  std::size_t completion_bound_ = 0;
+  std::uint64_t completions_dropped_ = 0;
   std::int64_t gateway_bytes_ = 0;
   std::uint64_t next_request_id_ = 0;
   std::uint64_t completed_count_ = 0;

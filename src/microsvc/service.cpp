@@ -29,10 +29,8 @@ bool Service::AcquireSlot(sim::InplaceFunction on_granted) {
 void Service::ReleaseSlot() {
   --slots_in_use_;
   if (!slot_waiters_.empty() && slots_in_use_ < threads()) {
-    auto next = std::move(slot_waiters_.front());
-    slot_waiters_.pop_front();
     ++slots_in_use_;
-    sim_.After(0, std::move(next));
+    sim_.After(0, slot_waiters_.pop_front());
   }
 }
 
@@ -88,18 +86,14 @@ void Service::FinishBurst(std::uint64_t bid) {
 
 void Service::MaybeStartCpu() {
   while (!cpu_queue_.empty() && cpu_busy_ < cores()) {
-    CpuBurst next = std::move(cpu_queue_.front());
-    cpu_queue_.pop_front();
-    StartBurst(std::move(next));
+    StartBurst(cpu_queue_.pop_front());
   }
 }
 
 void Service::AdmitWaiters() {
   while (!slot_waiters_.empty() && slots_in_use_ < threads()) {
-    auto next = std::move(slot_waiters_.front());
-    slot_waiters_.pop_front();
     ++slots_in_use_;
-    sim_.After(0, std::move(next));
+    sim_.After(0, slot_waiters_.pop_front());
   }
 }
 
@@ -140,8 +134,7 @@ bool Service::Crash() {
     if (victim.on_killed) sim_.After(0, std::move(victim.on_killed));
   }
   for (std::size_t i = 0; i < kill_queued; ++i) {
-    CpuBurst victim = std::move(cpu_queue_.front());
-    cpu_queue_.pop_front();
+    CpuBurst victim = cpu_queue_.pop_front();
     ++killed_bursts_;
     if (victim.on_killed) sim_.After(0, std::move(victim.on_killed));
   }
@@ -160,14 +153,16 @@ void Service::MultiplyDemandFactor(double factor) {
 
 bool Service::BreakerAllows(ServiceId caller) const {
   if (spec_.breaker_threshold <= 0) return true;
-  const auto it = breakers_.find(caller);
-  if (it == breakers_.end()) return true;
-  return sim_.Now() >= it->second.open_until;
+  const auto idx = static_cast<std::size_t>(caller + 1);
+  if (idx >= breakers_.size()) return true;  // never reported: closed
+  return sim_.Now() >= breakers_[idx].open_until;
 }
 
 void Service::ReportCallerOutcome(ServiceId caller, bool ok) {
   if (spec_.breaker_threshold <= 0) return;
-  BreakerState& st = breakers_[caller];
+  const auto idx = static_cast<std::size_t>(caller + 1);
+  if (idx >= breakers_.size()) breakers_.resize(idx + 1);
+  BreakerState& st = breakers_[idx];
   if (ok) {
     st.consecutive_failures = 0;
     st.open_until = 0;

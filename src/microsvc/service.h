@@ -1,12 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "microsvc/types.h"
+#include "sim/ring_buffer.h"
 #include "sim/simulation.h"
 
 namespace grunt::microsvc {
@@ -111,7 +110,7 @@ class Service {
 
  private:
   struct CpuBurst {
-    SimDuration demand;
+    SimDuration demand = 0;
     sim::InplaceFunction done;
     sim::InplaceFunction on_killed;
   };
@@ -139,10 +138,10 @@ class Service {
   double demand_factor_ = 1.0;
 
   std::int32_t slots_in_use_ = 0;
-  std::deque<sim::InplaceFunction> slot_waiters_;
+  sim::RingBuffer<sim::InplaceFunction> slot_waiters_;
 
   std::int32_t cpu_busy_ = 0;
-  std::deque<CpuBurst> cpu_queue_;
+  sim::RingBuffer<CpuBurst> cpu_queue_;
   std::vector<RunningBurst> running_;
   std::uint64_t next_burst_id_ = 0;
   std::int64_t busy_integral_ = 0;  ///< core-microseconds
@@ -151,7 +150,12 @@ class Service {
   std::int64_t killed_bursts_ = 0;
   std::int64_t crash_count_ = 0;
   std::int64_t rejected_arrivals_ = 0;
-  std::map<ServiceId, BreakerState> breakers_;
+  /// Per-caller breaker state, indexed by caller + 1 (0 = external client,
+  /// kInvalidService). Grown on first failure report from a caller; absent
+  /// entries mean "closed". Flat storage replaces the old std::map: callers
+  /// are dense small service ids and the breaker check sits on the per-call
+  /// hot path.
+  std::vector<BreakerState> breakers_;
 };
 
 }  // namespace grunt::microsvc

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace grunt::sim {
+
+/// Generation-checked 32-bit handle into a SlabPool<T> — the same
+/// (slot, generation) ticket idiom as sim::EventHandle. A default-constructed
+/// handle is null; a handle whose slot has been released (and possibly
+/// recycled) no longer matches the slot's generation and dereferences to
+/// nullptr instead of aliasing an unrelated newer record.
+struct PoolHandle {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;  ///< 0 = null handle (live generations start at 1)
+
+  explicit operator bool() const { return gen != 0; }
+  friend bool operator==(const PoolHandle&, const PoolHandle&) = default;
+};
+
+/// Occupancy counters of one SlabPool (type-erased so callers can aggregate
+/// stats across pools of different record types).
+struct SlabPoolStats {
+  std::size_t live = 0;        ///< currently acquired records
+  std::size_t high_water = 0;  ///< peak live records
+  std::size_t capacity = 0;    ///< constructed slots across all chunks
+  std::uint64_t acquires = 0;  ///< total Acquire() calls
+};
+
+/// Free-list slab pool of reusable records.
+///
+/// Records live in fixed-size chunks (stable addresses: a pointer obtained
+/// from Get() stays valid across later Acquire() calls) and are constructed
+/// once per chunk, then *recycled* rather than destroyed: Release() returns
+/// the slot to the free list without running ~T, so members like
+/// std::vector keep their capacity and a steady-state Acquire/Release cycle
+/// never touches the allocator. Callers re-initialize the fields they use.
+template <class T>
+class SlabPool {
+ public:
+  using Stats = SlabPoolStats;
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Takes a free slot (growing by one chunk when the free list is empty)
+  /// and returns its handle. The record is in recycled state: whatever the
+  /// previous user left behind, minus nothing — re-init before use.
+  PoolHandle Acquire() {
+    if (free_head_ == kNil) Grow();
+    const std::uint32_t id = free_head_;
+    free_head_ = meta_[id].next_free;
+    assert(meta_[id].gen != 0);
+    ++stats_.live;
+    ++stats_.acquires;
+    if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
+    return PoolHandle{id, meta_[id].gen};
+  }
+
+  /// Returns the slot to the free list and invalidates every outstanding
+  /// handle to it (generation bump). The record itself is NOT destroyed.
+  void Release(PoolHandle h) {
+    assert(Alive(h) && "releasing a stale or null pool handle");
+    Meta& m = meta_[h.slot];
+    if (++m.gen == 0) m.gen = 1;  // skip 0: it means "null handle"
+    m.next_free = free_head_;
+    free_head_ = h.slot;
+    --stats_.live;
+  }
+
+  /// The record behind `h`, or nullptr if `h` is null or stale.
+  T* Get(PoolHandle h) {
+    return Alive(h) ? &slot(h.slot) : nullptr;
+  }
+  const T* Get(PoolHandle h) const {
+    return Alive(h) ? &slot(h.slot) : nullptr;
+  }
+
+  /// Unchecked access: `h` must be alive.
+  T& operator[](PoolHandle h) {
+    assert(Alive(h));
+    return slot(h.slot);
+  }
+
+  bool Alive(PoolHandle h) const {
+    return h.gen != 0 && h.slot < meta_.size() && meta_[h.slot].gen == h.gen;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::uint32_t kNil =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint32_t kSlotsPerChunk = 256;
+
+  struct Meta {
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNil;
+  };
+
+  T& slot(std::uint32_t id) {
+    return chunks_[id / kSlotsPerChunk][id % kSlotsPerChunk];
+  }
+  const T& slot(std::uint32_t id) const {
+    return chunks_[id / kSlotsPerChunk][id % kSlotsPerChunk];
+  }
+
+  void Grow() {
+    const auto base = static_cast<std::uint32_t>(meta_.size());
+    chunks_.push_back(std::make_unique<T[]>(kSlotsPerChunk));
+    meta_.resize(meta_.size() + kSlotsPerChunk);
+    // Thread the new chunk onto the free list front-to-back so fresh pools
+    // hand out slots in index order (helps locality and debuggability).
+    for (std::uint32_t i = kSlotsPerChunk; i-- > 0;) {
+      meta_[base + i].next_free = free_head_;
+      free_head_ = base + i;
+    }
+    stats_.capacity = meta_.size();
+  }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<Meta> meta_;
+  std::uint32_t free_head_ = kNil;
+  Stats stats_;
+};
+
+}  // namespace grunt::sim

@@ -297,6 +297,8 @@ std::uint64_t HashMix(std::uint64_t h, std::uint64_t v) {
 struct GoldenRun {
   std::uint64_t events = 0;
   std::uint64_t hash = 0;
+  std::uint64_t retried = 0;  ///< completions that spent >= 1 retry
+  std::array<std::uint64_t, microsvc::kOutcomeCount> outcomes{};
 };
 
 GoldenRun RunGoldenScenario() {
@@ -346,6 +348,119 @@ TEST(SimulationDeterminism, RepeatRunsAreBitIdentical) {
   const GoldenRun b = RunGoldenScenario();
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.hash, b.hash);
+}
+
+// Multi-hop retry/fault golden scenario: per-hop timeouts + retries with
+// jittered backoff, a deadline-carrying type, load shedding, a circuit
+// breaker, and mid-run Crash/Restart (including a crash to zero replicas
+// with waiters pending). Every failure path of the request lifecycle —
+// timeout, rejection, breaker fast-fail, deadline, crash-kill — feeds the
+// hash, so any lifecycle rewrite that perturbs ordering, RNG consumption or
+// outcome accounting shows up here. Constants captured on the shared_ptr +
+// std::function lifecycle and reproduced bit-for-bit by the pooled one.
+GoldenRun RunRetryFaultGoldenScenario() {
+  Simulation sim;
+  microsvc::Application::Builder b;
+  b.SetName("golden-faults")
+      .SetServiceTimeDist(microsvc::ServiceTimeDist::kExponential)
+      .SetNetLatency(Us(200));
+  auto gw = grunt::testing::Svc("gw", 256, 4);
+  auto um = grunt::testing::Svc("um", 6, 2);
+  auto wa = grunt::testing::Svc("worker-a", 4, 1);
+  wa.max_queue_per_replica = 3;  // load shedding
+  auto wb = grunt::testing::Svc("worker-b", 4, 1);
+  wb.breaker_threshold = 3;
+  wb.breaker_cooldown = Ms(80);
+  auto leaf = grunt::testing::Svc("leaf", 2, 1);
+  const microsvc::ServiceId gw_id = b.AddService(gw);
+  const microsvc::ServiceId um_id = b.AddService(um);
+  const microsvc::ServiceId wa_id = b.AddService(wa);
+  const microsvc::ServiceId wb_id = b.AddService(wb);
+  const microsvc::ServiceId leaf_id = b.AddService(leaf);
+
+  microsvc::RpcPolicy retrying;
+  retrying.timeout = Ms(25);
+  retrying.max_retries = 2;
+  retrying.backoff_base = Ms(2);
+  retrying.backoff_multiplier = 2.0;
+  retrying.jitter = 0.3;
+
+  microsvc::RequestTypeSpec ta;
+  ta.name = "a";
+  // The wa hop carries no policy, so wa's crash-killed bursts (wa runs
+  // near-saturated) surface upstream as terminal kFailed completions.
+  ta.hops = {{gw_id, Us(200), 0, std::nullopt},
+             {um_id, Us(800), Us(300), std::nullopt},
+             {wa_id, Us(6000), Us(400), std::nullopt},
+             {leaf_id, Us(500), 0, retrying}};
+  b.AddRequestType(ta);
+  microsvc::RequestTypeSpec tb;
+  tb.name = "b";
+  tb.deadline = Ms(90);
+  tb.hops = {{gw_id, Us(200), 0, std::nullopt},
+             {um_id, Us(800), Us(300), std::nullopt},
+             {wb_id, Us(6000), Us(400), retrying},
+             {leaf_id, Us(500), 0, std::nullopt}};
+  b.AddRequestType(tb);
+  const auto app = std::move(b).Build();
+
+  microsvc::Cluster cluster(sim, app, /*seed=*/7);
+  RngStream arrivals(7, "determinism.fault.arrivals");
+  SimTime t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += arrivals.NextInt(Us(100), Ms(3));
+    const auto type = static_cast<microsvc::RequestTypeId>(i % 2);
+    const bool heavy = (i % 5 == 0);
+    sim.At(t, [&cluster, type, heavy, i] {
+      cluster.Submit(type, microsvc::RequestClass::kLegit, heavy,
+                     static_cast<std::uint64_t>(i));
+    });
+  }
+  // Faults: crash worker-a mid-run (killing queued + running bursts), crash
+  // the single-replica leaf to zero (stranding slot waiters), then restart
+  // both while arrivals are still flowing.
+  sim.At(Ms(120), [&cluster, wa_id] { cluster.service(wa_id).Crash(); });
+  sim.At(Ms(150), [&cluster, leaf_id] { cluster.service(leaf_id).Crash(); });
+  // um's hop carries no retry policy, so its killed bursts surface as
+  // terminal kFailed completions.
+  sim.At(Ms(180), [&cluster, um_id] { cluster.service(um_id).Crash(); });
+  sim.At(Ms(210), [&cluster, um_id] { cluster.service(um_id).Restart(); });
+  sim.At(Ms(230), [&cluster, leaf_id] { cluster.service(leaf_id).Restart(); });
+  sim.At(Ms(260), [&cluster, wa_id] { cluster.service(wa_id).Restart(); });
+  sim.RunAll();
+
+  GoldenRun out;
+  out.events = sim.events_fired();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& rec : cluster.completions()) {
+    h = HashMix(h, rec.request_id);
+    h = HashMix(h, static_cast<std::uint64_t>(rec.type));
+    h = HashMix(h, static_cast<std::uint64_t>(rec.start));
+    h = HashMix(h, static_cast<std::uint64_t>(rec.end));
+    h = HashMix(h, static_cast<std::uint64_t>(rec.outcome));
+    h = HashMix(h, static_cast<std::uint64_t>(rec.retries));
+    out.retried += rec.retries > 0;
+  }
+  for (std::size_t o = 0; o < microsvc::kOutcomeCount; ++o) {
+    out.outcomes[o] = cluster.outcome_count(static_cast<microsvc::Outcome>(o));
+    h = HashMix(h, out.outcomes[o]);
+  }
+  out.hash = h;
+  return out;
+}
+
+TEST(SimulationDeterminism, GoldenRetryFaultStreamHash) {
+  const GoldenRun run = RunRetryFaultGoldenScenario();
+  // Every outcome kind must actually occur or the scenario lost coverage.
+  for (std::size_t o = 0; o < microsvc::kOutcomeCount; ++o) {
+    EXPECT_GT(run.outcomes[o], 0u)
+        << "outcome " << microsvc::ToString(static_cast<microsvc::Outcome>(o))
+        << " never produced";
+  }
+  EXPECT_GT(run.retried, 0u) << "no completion ever retried";
+  EXPECT_EQ(run.events, 4736u) << "events=" << run.events;
+  EXPECT_EQ(run.hash, 0xabadb062c4ab398cull) << "hash=0x" << std::hex
+                                             << run.hash;
 }
 
 }  // namespace
