@@ -159,6 +159,10 @@ CampaignResult RunScenarioCampaign(const scenario::ScenarioSpec& spec,
 
   CampaignResult result;
   result.base_rt_ms = rig.rt_monitor().LegitWindow(kBaseFrom, kBaseTo);
+  result.base_goodput =
+      rig.rt_monitor().goodput().WindowMean(kBaseFrom, kBaseTo);
+  result.base_error_rate =
+      rig.rt_monitor().error_rate().WindowMean(kBaseFrom, kBaseTo);
   result.base_mbps =
       rig.cloudwatch().gateway_mbps().WindowMean(kBaseFrom, kBaseTo);
   const auto hottest = rig.HottestBackend(kBaseFrom, kBaseTo);
@@ -189,10 +193,25 @@ CampaignResult RunScenarioCampaign(const scenario::ScenarioSpec& spec,
   const SimTime att_to = result.attack_end;
 
   result.att_rt_ms = rig.rt_monitor().LegitWindow(att_from, att_to);
+  result.att_goodput =
+      rig.rt_monitor().goodput().WindowMean(att_from, att_to);
+  result.att_error_rate =
+      rig.rt_monitor().error_rate().WindowMean(att_from, att_to);
   result.att_mbps =
       rig.cloudwatch().gateway_mbps().WindowMean(att_from, att_to);
   result.att_cpu_pct =
       100.0 * rig.cloudwatch().cpu_util(hottest).WindowMean(att_from, att_to);
+  for (std::size_t i = 0; i < rig.cluster().service_count(); ++i) {
+    const auto& svc =
+        rig.cluster().service(static_cast<microsvc::ServiceId>(i));
+    result.bulkhead_rejections += svc.bulkhead_rejections();
+    result.limiter_rejections += svc.limiter_rejections();
+    result.deadline_sheds += svc.deadline_sheds();
+  }
+  for (std::size_t o = 0; o < microsvc::kOutcomeCount; ++o) {
+    result.legit_outcomes[o] = rig.rt_monitor().legit_outcome_count(
+        static_cast<microsvc::Outcome>(o));
+  }
   result.bots = result.report.bots_used;
   result.mean_pmb_ms = result.report.MeanPmbMs();
   if (rig.autoscaler() != nullptr) {
@@ -307,6 +326,10 @@ CampaignResult RunSocialNetworkCampaign(const CloudSetting& setting,
 
   CampaignResult result;
   result.base_rt_ms = rig.rt_monitor().LegitWindow(kBaseFrom, kBaseTo);
+  result.base_goodput =
+      rig.rt_monitor().goodput().WindowMean(kBaseFrom, kBaseTo);
+  result.base_error_rate =
+      rig.rt_monitor().error_rate().WindowMean(kBaseFrom, kBaseTo);
   result.base_mbps =
       rig.cloudwatch().gateway_mbps().WindowMean(kBaseFrom, kBaseTo);
   const auto hottest = rig.HottestBackend(kBaseFrom, kBaseTo);
@@ -338,10 +361,25 @@ CampaignResult RunSocialNetworkCampaign(const CloudSetting& setting,
   const SimTime att_to = result.attack_end;
 
   result.att_rt_ms = rig.rt_monitor().LegitWindow(att_from, att_to);
+  result.att_goodput =
+      rig.rt_monitor().goodput().WindowMean(att_from, att_to);
+  result.att_error_rate =
+      rig.rt_monitor().error_rate().WindowMean(att_from, att_to);
   result.att_mbps =
       rig.cloudwatch().gateway_mbps().WindowMean(att_from, att_to);
   result.att_cpu_pct =
       100.0 * rig.cloudwatch().cpu_util(hottest).WindowMean(att_from, att_to);
+  for (std::size_t i = 0; i < rig.cluster().service_count(); ++i) {
+    const auto& svc =
+        rig.cluster().service(static_cast<microsvc::ServiceId>(i));
+    result.bulkhead_rejections += svc.bulkhead_rejections();
+    result.limiter_rejections += svc.limiter_rejections();
+    result.deadline_sheds += svc.deadline_sheds();
+  }
+  for (std::size_t o = 0; o < microsvc::kOutcomeCount; ++o) {
+    result.legit_outcomes[o] = rig.rt_monitor().legit_outcome_count(
+        static_cast<microsvc::Outcome>(o));
+  }
   result.bots = result.report.bots_used;
   result.mean_pmb_ms = result.report.MeanPmbMs();
   for (const auto& action : rig.autoscaler().actions()) {

@@ -5,6 +5,7 @@
 // measures a clean baseline window, runs an attack campaign, and measures
 // the attack window. Every table/figure bench builds on this.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -85,6 +86,19 @@ struct CampaignResult {
   double att_mbps = 0;
   double base_cpu_pct = 0;  ///< representative bottleneck service
   double att_cpu_pct = 0;
+  /// Legitimate goodput (ok completions/s) in the two windows; the defense
+  /// bench's collateral-damage axis. Filled by RunScenarioCampaign.
+  double base_goodput = 0;
+  double att_goodput = 0;
+  /// Mean legit failure fraction (timeout/reject/deadline) per window.
+  double base_error_rate = 0;
+  double att_error_rate = 0;
+  /// Graceful-degradation activity over the whole run (0 when undeployed).
+  std::int64_t bulkhead_rejections = 0;
+  std::int64_t limiter_rejections = 0;
+  std::int64_t deadline_sheds = 0;
+  /// Cumulative legit completions by terminal outcome (whole run).
+  std::array<std::uint64_t, microsvc::kOutcomeCount> legit_outcomes{};
   std::string bottleneck_service;
   std::size_t bots = 0;
   double mean_pmb_ms = 0;

@@ -22,6 +22,10 @@ microsvc::Application MakeMuBench(const MuBenchOptions& opts) {
   p.max_queue_per_replica = opts.resilience.max_queue_per_replica;
   p.breaker_threshold = opts.resilience.breaker_threshold;
   p.breaker_cooldown = opts.resilience.breaker_cooldown;
+  p.bulkhead_per_downstream = opts.resilience.bulkhead_per_downstream;
+  p.adaptive_limit = opts.resilience.adaptive_limit;
+  p.deadline_shed = opts.resilience.deadline_shed;
+  p.endpoint_deadline = opts.resilience.endpoint_deadline;
   return scenario::BuildApplication(
       scenario::GenerateMubench(opts.seed, p).topology);
 }

@@ -24,9 +24,24 @@ struct ResilienceOptions {
   std::int32_t breaker_threshold = 0;
   SimDuration breaker_cooldown = Ms(500);
 
+  // Graceful-degradation deployment (the anti-Grunt countermeasures), all
+  // stamped onto backend services only — the gateway is never the exploited
+  // pool. Defaults off.
+  /// Per-downstream bulkhead quota (× replicas) on every backend service.
+  std::int32_t bulkhead_per_downstream = 0;
+  /// Adaptive per-downstream concurrency limiter on every backend service.
+  microsvc::AdaptiveLimitSpec adaptive_limit;
+  /// Deadline-aware shedding at every backend service's admission.
+  microsvc::DeadlineShedSpec deadline_shed;
+  /// End-to-end deadline stamped onto every public dynamic endpoint (what
+  /// deadline_shed budgets against). 0 = leave endpoint deadlines as-is.
+  SimDuration endpoint_deadline = 0;
+
   bool any() const {
     return default_rpc.has_value() || max_queue_per_replica > 0 ||
-           breaker_threshold > 0;
+           breaker_threshold > 0 || bulkhead_per_downstream > 0 ||
+           adaptive_limit.enabled || deadline_shed.enabled ||
+           endpoint_deadline > 0;
   }
 };
 

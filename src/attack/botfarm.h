@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "util/time_types.h"
@@ -22,13 +23,19 @@ class BotFarm {
     /// estimate the IDS threshold beforehand and add a safety margin.
     SimDuration min_spacing = Ms(3500);
     std::uint64_t bot_id_base = 9'000'000;
+    /// Attacker budget: recruitment stops at this farm size (0 = unlimited).
+    /// With every bot cooling down at the cap, Acquire() fails and the
+    /// request simply cannot be sent — the knob that makes "equal attacker
+    /// cost" comparisons possible (Table III reports the footprint).
+    std::size_t max_bots = 0;
   };
 
   explicit BotFarm(Config cfg);
 
   /// Returns a bot id usable at time `now` without tripping spacing rules,
   /// recruiting a new bot when every existing one is still cooling down.
-  std::uint64_t Acquire(SimTime now);
+  /// nullopt when the budget cap is reached and every bot is still cooling.
+  std::optional<std::uint64_t> Acquire(SimTime now);
 
   /// Bots recruited so far (the attack's reported footprint).
   std::size_t bot_count() const { return last_used_.size(); }

@@ -7,13 +7,19 @@
 namespace grunt::attack {
 
 double BurstObservation::EstimatePmbMs() const {
-  if (responses.size() < 2) return 0.0;
-  SimTime first_end = responses.front().completed;
-  SimTime last_end = responses.front().completed;
+  SimTime first_end = 0;
+  SimTime last_end = 0;
+  std::size_t seen = 0;
   for (const auto& r : responses) {
-    first_end = std::min(first_end, r.completed);
-    last_end = std::max(last_end, r.completed);
+    if (r.skipped) continue;
+    if (seen++ == 0) {
+      first_end = last_end = r.completed;
+    } else {
+      first_end = std::min(first_end, r.completed);
+      last_end = std::max(last_end, r.completed);
+    }
   }
+  if (seen < 2) return 0.0;
   return ToMillis(last_end - first_end);
 }
 
@@ -30,19 +36,23 @@ double BurstObservation::OkFraction() const {
 }
 
 double BurstObservation::MeanRtMs() const {
-  if (responses.empty()) return 0.0;
   double total = 0;
+  std::size_t seen = 0;
   for (const auto& r : responses) {
+    if (r.skipped) continue;
     total += ToMillis(r.completed - r.sent);
+    ++seen;
   }
-  return total / static_cast<double>(responses.size());
+  return seen == 0 ? 0.0 : total / static_cast<double>(seen);
 }
 
 double BurstObservation::MedianRtMs() const {
-  if (responses.empty()) return 0.0;
   std::vector<double> rts;
   rts.reserve(responses.size());
-  for (const auto& r : responses) rts.push_back(ToMillis(r.completed - r.sent));
+  for (const auto& r : responses) {
+    if (!r.skipped) rts.push_back(ToMillis(r.completed - r.sent));
+  }
+  if (rts.empty()) return 0.0;
   auto mid = rts.begin() + static_cast<std::ptrdiff_t>(rts.size() / 2);
   std::nth_element(rts.begin(), mid, rts.end());
   return *mid;
@@ -51,14 +61,16 @@ double BurstObservation::MedianRtMs() const {
 double BurstObservation::MaxRtMs() const {
   double best = 0;
   for (const auto& r : responses) {
-    best = std::max(best, ToMillis(r.completed - r.sent));
+    if (!r.skipped) best = std::max(best, ToMillis(r.completed - r.sent));
   }
   return best;
 }
 
 SimTime BurstObservation::LastCompletion() const {
   SimTime last = 0;
-  for (const auto& r : responses) last = std::max(last, r.completed);
+  for (const auto& r : responses) {
+    if (!r.skipped) last = std::max(last, r.completed);
+  }
   return last;
 }
 
@@ -89,8 +101,21 @@ void SendSpaced(TargetClient& target, BotFarm& bots, std::int32_t url_id,
     target.After(spacing * i, [&target, &bots, url_id, heavy, attack_traffic,
                                pending, i] {
       const SimTime now = target.Now();
-      const std::uint64_t bot = bots.Acquire(now);
-      target.Send(url_id, heavy, bot, attack_traffic,
+      const auto bot = bots.Acquire(now);
+      if (!bot) {
+        // Bot budget exhausted: the request never leaves the farm. Record
+        // it as an instant error so the observation still completes.
+        auto& slot = pending->obs.responses[static_cast<std::size_t>(i)];
+        slot.sent = now;
+        slot.completed = now;
+        slot.ok = false;
+        slot.skipped = true;
+        if (--pending->outstanding == 0 && pending->done) {
+          pending->done(std::move(pending->obs));
+        }
+        return;
+      }
+      target.Send(url_id, heavy, *bot, attack_traffic,
                   [pending, i](SimTime sent, SimTime completed, bool ok) {
                     auto& slot =
                         pending->obs.responses[static_cast<std::size_t>(i)];

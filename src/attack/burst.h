@@ -26,6 +26,10 @@ struct BurstObservation {
     SimTime sent = 0;
     SimTime completed = 0;
     bool ok = true;  ///< false: the target answered with an error
+    /// True when the bot budget was exhausted and the request was never
+    /// sent. Counts as an error in OkFraction() (the calibration loop's
+    /// stop signal) but is excluded from the timing estimators.
+    bool skipped = false;
   };
   std::vector<Response> responses;  ///< in send order
 

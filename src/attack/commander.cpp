@@ -63,6 +63,37 @@ void GroupCommander::SettleQuiet(std::int32_t url,
 }
 
 void GroupCommander::Initialize(std::function<void()> done) {
+  if (replay_) {
+    // Open-loop replay: install the reference campaign's plans verbatim —
+    // no calibration traffic, no m search.
+    paths_.clear();
+    const GroupReplay& r = *replay_;
+    for (std::size_t i = 0; i < r.plans.size(); ++i) {
+      const SimDuration interval =
+          i < r.intervals.size() && r.intervals[i] > 0 ? r.intervals[i]
+                                                       : Ms(450);
+      PathRuntime rt{
+          r.plans[i],
+          ScalarKalman(cfg_.kf_process_var, cfg_.kf_measurement_var,
+                       cfg_.pmb_limit_ms * cfg_.pmb_target_fraction, 1e4),
+          ScalarKalman(cfg_.kf_process_var, cfg_.kf_measurement_var,
+                       cfg_.target_tmin_ms, 1e5),
+          interval};
+      paths_.push_back(std::move(rt));
+    }
+    if (paths_.empty()) {
+      throw std::invalid_argument("GroupCommander: empty replay");
+    }
+    stats_.paths_used =
+        r.paths_used > 0
+            ? std::min<std::int32_t>(
+                  r.paths_used, static_cast<std::int32_t>(paths_.size()))
+            : static_cast<std::int32_t>(paths_.size());
+    for (const auto& p : paths_) stats_.plans.push_back(p.plan);
+    initialized_ = true;
+    done();
+    return;
+  }
   paths_.clear();
   for (std::int32_t url : group_) {
     PathRuntime rt{
@@ -371,6 +402,10 @@ void GroupCommander::OnBurstDone(std::size_t path_idx,
     stats_.pmb_est_ms.Add(now, pmb_est);
     stats_.burst_volume.Add(now, static_cast<double>(p.plan.count));
   }
+
+  // Open-loop replay: the schedule is frozen — keep the telemetry above but
+  // never touch volume or cadence.
+  if (replay_) return;
 
   // Adapt L (via count) so the created millibottleneck tracks the stealth
   // cap: linear P_MB-vs-L relation (Sec III summary).

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "attack/botfarm.h"
@@ -105,6 +106,21 @@ struct PathPlan {
   double volume() const { return static_cast<double>(count); }
 };
 
+/// Open-loop replay of a previously calibrated campaign: the per-path plans
+/// plus the steady firing intervals observed in a reference run. Installed
+/// with GroupCommander::SetReplay() before Initialize(); calibration is then
+/// skipped entirely and the burst loop fires the fixed plans at the fixed
+/// intervals with NO feedback adaptation of volume or cadence. This is how
+/// the defense benches hold the attack constant while toggling the
+/// deployment under it ("same campaign, defense toggled") — a re-optimizing
+/// attacker is a different experiment.
+struct GroupReplay {
+  std::vector<PathPlan> plans;
+  /// Aligned with `plans`; 0 (or missing) falls back to the default cadence.
+  std::vector<SimDuration> intervals;
+  std::int32_t paths_used = 0;  ///< m; 0 = all plans
+};
+
 /// Attack-time telemetry for one dependency group.
 struct GroupStats {
   std::vector<PathPlan> plans;            ///< all calibrated paths, ranked
@@ -131,8 +147,13 @@ class GroupCommander {
   GroupCommander(TargetClient& target, BotFarm& bots, CommanderConfig cfg,
                  std::vector<std::int32_t> group, const ProfileResult& profile);
 
+  /// Installs a pre-calibrated open-loop schedule; must be called before
+  /// Initialize(). See GroupReplay.
+  void SetReplay(GroupReplay replay) { replay_ = std::move(replay); }
+
   /// Phase 1+2: per-path calibration and m search; `done` fires when the
-  /// group is ready to attack.
+  /// group is ready to attack. With a replay installed, both phases are
+  /// skipped and the group is ready immediately.
   void Initialize(std::function<void()> done);
 
   /// Phase 3: attack until `until` (target clock), then `done`.
@@ -186,6 +207,7 @@ class GroupCommander {
   std::vector<std::int32_t> group_;
   const ProfileResult& profile_;
   std::vector<PathRuntime> paths_;  ///< ranked after calibration
+  std::optional<GroupReplay> replay_;
   GroupStats stats_;
   bool initialized_ = false;
   bool attacking_ = false;

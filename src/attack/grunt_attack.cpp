@@ -66,6 +66,16 @@ void GruntAttack::RunWithProfile(
     done(report_);
     return;
   }
+  if (!cfg_.replay.empty()) {
+    if (cfg_.replay.size() != commanders_.size()) {
+      throw std::invalid_argument(
+          "GruntConfig::replay: entry count does not match the attacked "
+          "group count");
+    }
+    for (std::size_t i = 0; i < commanders_.size(); ++i) {
+      commanders_[i]->SetReplay(cfg_.replay[i]);
+    }
+  }
   InitializeGroups(0, attack_duration, std::move(done));
 }
 

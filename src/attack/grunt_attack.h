@@ -22,6 +22,12 @@ struct GruntConfig {
   /// Skip groups smaller than this (a single isolated path yields little
   /// group-wide damage).
   std::size_t min_group_size = 1;
+  /// Open-loop replay: one entry per attacked group, index-matched to the
+  /// commanders a previous campaign with the SAME profile and group config
+  /// created (group targeting is deterministic given the profile). When
+  /// non-empty, calibration is skipped and the fixed schedules are fired
+  /// with no feedback adaptation. See GroupReplay.
+  std::vector<GroupReplay> replay;
 };
 
 /// Final campaign report.

@@ -52,9 +52,11 @@ void FloodAttack::FireNext(std::size_t url_idx) {
     return;
   }
   const SimTime now = target_.Now();
-  ++attack_requests_;
-  target_.Send(cfg_.urls[url_idx % cfg_.urls.size()], /*heavy=*/true,
-               bots_.Acquire(now), /*attack_traffic=*/true, nullptr);
+  if (const auto bot = bots_.Acquire(now)) {
+    ++attack_requests_;
+    target_.Send(cfg_.urls[url_idx % cfg_.urls.size()], /*heavy=*/true, *bot,
+                 /*attack_traffic=*/true, nullptr);
+  }
   const auto gap = static_cast<SimDuration>(1e6 / cfg_.rate);
   target_.After(std::max<SimDuration>(1, gap),
                 [this, url_idx] { FireNext(url_idx + 1); });

@@ -76,6 +76,7 @@ ResponseTimeMonitor::ResponseTimeMonitor(microsvc::Cluster& cluster,
   cluster_.AddCompletionListener([this](const microsvc::CompletionRecord& r) {
     if (!running_) return;
     if (r.cls != microsvc::RequestClass::kLegit) return;
+    ++legit_outcomes_[static_cast<std::size_t>(r.outcome)];
     if (r.outcome != microsvc::Outcome::kOk) {
       ++window_errors_;
       return;

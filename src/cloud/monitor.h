@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -99,6 +100,11 @@ class ResponseTimeMonitor {
   /// rejection, deadline, crash); 0 when the window is empty.
   const TimeSeries& error_rate() const { return error_rate_; }
 
+  /// Cumulative legitimate completions by terminal outcome since Start().
+  std::uint64_t legit_outcome_count(microsvc::Outcome o) const {
+    return legit_outcomes_[static_cast<std::size_t>(o)];
+  }
+
   /// All legitimate (successful) RTs (ms) observed in [from, to) by
   /// completion time.
   Samples LegitWindow(SimTime from, SimTime to) const;
@@ -112,6 +118,7 @@ class ResponseTimeMonitor {
   bool running_ = false;
   Samples window_;  ///< successful legit RTs in the current window
   std::uint64_t window_errors_ = 0;  ///< failed legit completions in window
+  std::array<std::uint64_t, microsvc::kOutcomeCount> legit_outcomes_{};
   std::vector<std::pair<SimTime, double>> legit_all_;  ///< (end, rt_ms), kOk
   TimeSeries legit_mean_ms_;
   TimeSeries legit_p95_ms_;

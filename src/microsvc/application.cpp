@@ -42,6 +42,37 @@ void ValidatePolicy(const RpcPolicy& p, const std::string& where) {
   if (p.jitter < 0.0 || p.jitter >= 1.0) {
     throw std::invalid_argument("jitter outside [0,1): " + where);
   }
+  if (p.nominal_rtt < 0) {
+    throw std::invalid_argument("negative nominal_rtt: " + where);
+  }
+}
+
+void ValidateDegradation(const ServiceSpec& s) {
+  if (s.bulkhead_per_downstream < 0) {
+    throw std::invalid_argument("negative bulkhead_per_downstream: " + s.name);
+  }
+  const AdaptiveLimitSpec& al = s.adaptive_limit;
+  if (al.min_limit < 1) {
+    throw std::invalid_argument("adaptive_limit min_limit < 1: " + s.name);
+  }
+  if (al.max_limit < al.min_limit) {
+    throw std::invalid_argument("adaptive_limit max_limit < min_limit: " +
+                                s.name);
+  }
+  if (al.rtt_tolerance < 1.0) {
+    throw std::invalid_argument("adaptive_limit rtt_tolerance < 1: " + s.name);
+  }
+  if (al.decrease_factor <= 0.0 || al.decrease_factor > 1.0) {
+    throw std::invalid_argument(
+        "adaptive_limit decrease_factor outside (0,1]: " + s.name);
+  }
+  const DeadlineShedSpec& ds = s.deadline_shed;
+  if (ds.margin <= 0.0) {
+    throw std::invalid_argument("deadline_shed margin <= 0: " + s.name);
+  }
+  if (ds.depth_weight < 0.0) {
+    throw std::invalid_argument("deadline_shed depth_weight < 0: " + s.name);
+  }
 }
 
 }  // namespace
@@ -94,6 +125,7 @@ Application Application::Builder::Build() && {
         s.breaker_cooldown < 0) {
       throw std::invalid_argument("invalid admission config: " + s.name);
     }
+    ValidateDegradation(s);
   }
   ValidatePolicy(app_.default_rpc_, "default_rpc");
   std::unordered_set<std::string> type_names;

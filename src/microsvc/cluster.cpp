@@ -33,6 +33,23 @@ Cluster::Cluster(sim::Simulation& sim, const Application& app,
         sim_, app.service(static_cast<ServiceId>(i)),
         static_cast<ServiceId>(i)));
   }
+  // Residual-cost table for the deadline shedder: suffix sums of the mean
+  // hop demands, plus the messages still to travel — from hop h's arrival, a
+  // chain of n hops has (n-1-h) calls down, (n-h) replies up (incl. the
+  // client's), i.e. 2n-h-1 messages left of the full request's 2n.
+  residual_costs_.resize(app.request_type_count());
+  for (std::size_t t = 0; t < app.request_type_count(); ++t) {
+    const auto& hops = app.request_type(static_cast<RequestTypeId>(t)).hops;
+    auto& per_hop = residual_costs_[t];
+    per_hop.resize(hops.size());
+    double cpu = 0;
+    for (std::size_t h = hops.size(); h-- > 0;) {
+      cpu += static_cast<double>(hops[h].cpu_demand + hops[h].post_demand);
+      per_hop[h].cpu_mean = cpu;
+      per_hop[h].messages =
+          static_cast<double>(2 * hops.size() - h - 1);
+    }
+  }
 }
 
 Cluster::LifecycleStats Cluster::lifecycle_stats() const {
@@ -127,6 +144,8 @@ void Cluster::IssueCall(sim::PoolHandle req_h, std::uint32_t hop,
   call.caller = caller;
   call.sent = false;
   call.deadline_limited = false;
+  call.gated = false;
+  call.issued_at = sim_.Now();
   call.timeout = sim::EventHandle{};
   Ref(req);
 
@@ -145,6 +164,19 @@ void Cluster::IssueCall(sim::PoolHandle req_h, std::uint32_t hop,
   if (!callee.BreakerAllows(caller)) {
     sim_.After(0, [this, call_h] { ResolveCall(call_h, Outcome::kRejected); });
     return;
+  }
+
+  // Caller-side degradation gate: the bulkhead quota and adaptive limit on
+  // this (caller → callee) edge. Like the breaker, rejection is local — no
+  // network round trip, no load on the callee — and retryable per policy.
+  if (caller != kInvalidService && service(caller).degradation_enabled()) {
+    if (service(caller).AdmitDownstreamCall(h.service) !=
+        Service::DownstreamGate::kAdmitted) {
+      sim_.After(0,
+                 [this, call_h] { ResolveCall(call_h, Outcome::kRejected); });
+      return;
+    }
+    call.gated = true;
   }
 
   call.sent = true;
@@ -187,6 +219,8 @@ void Cluster::ResolveCall(sim::PoolHandle call_h, Outcome o) {
   const std::int32_t attempt = call->attempt;
   const ServiceId caller = call->caller;
   const bool sent = call->sent;
+  const bool gated = call->gated;
+  const SimTime issued_at = call->issued_at;
   // Releasing the slot is what marks the attempt resolved: the timeout, the
   // reply and the rejection race here, and every racer after the first now
   // holds a stale handle.
@@ -194,8 +228,15 @@ void Cluster::ResolveCall(sim::PoolHandle call_h, Outcome o) {
 
   ActiveRequest& req = requests_[req_h];
   const Hop& h = app_.request_type(req.type).hops[hop];
+  const RpcPolicy& policy = app_.rpc_policy(req.type, hop);
   if (sent) {
     service(h.service).ReportCallerOutcome(caller, o == Outcome::kOk);
+  }
+  if (gated) {
+    // Uncharge the caller's per-downstream gate before any retry re-charges
+    // it, and feed the limiter this attempt's RTT sample.
+    service(caller).EndDownstreamCall(h.service, sim_.Now() - issued_at,
+                                      o == Outcome::kOk, policy.nominal_rtt);
   }
   if (o == Outcome::kOk) {
     ContinueAfterCall(req_h, parent_hop, Outcome::kOk);
@@ -203,7 +244,6 @@ void Cluster::ResolveCall(sim::PoolHandle call_h, Outcome o) {
     return;
   }
   // Retry decision. A spent deadline can never be retried into.
-  const RpcPolicy& policy = app_.rpc_policy(req.type, hop);
   if (o != Outcome::kDeadlineExceeded && attempt < policy.max_retries) {
     ++req.retries;
     const SimDuration delay = BackoffDelay(policy, attempt);
@@ -250,6 +290,21 @@ void Cluster::CallArrives(sim::PoolHandle hop_h) {
   ActiveRequest& req = requests_[req_h];
   req.traces[ctx.hop].arrived = sim_.Now();
   Service& svc = service(app_.request_type(req.type).hops[ctx.hop].service);
+  // Deadline-aware shedding: refuse doomed work BEFORE it consumes a thread
+  // slot. The error reply drains the upstream subtree instead of letting it
+  // block on a request that cannot finish in time anyway.
+  const DeadlineShedSpec& shed = svc.spec().deadline_shed;
+  if (shed.enabled && req.deadline > 0 &&
+      ShouldShedForDeadline(req, ctx.hop, shed)) {
+    svc.NoteDeadlineShed();
+    const sim::PoolHandle call_h = ctx.call;
+    sim_.After(NetLatency(), [this, call_h] {
+      ResolveCall(call_h, Outcome::kDeadlineExceeded);
+    });
+    hops_.Release(hop_h);
+    Unref(req_h);
+    return;
+  }
   if (!svc.AcquireSlot([this, hop_h] { OnSlotGranted(hop_h); })) {
     // Load shed: bounded arrival queue is full; the rejection response
     // travels back to the caller immediately.
@@ -260,6 +315,62 @@ void Cluster::CallArrives(sim::PoolHandle hop_h) {
     hops_.Release(hop_h);
     Unref(req_h);
   }
+}
+
+bool Cluster::ShouldShedForDeadline(const ActiveRequest& req,
+                                    std::uint32_t hop,
+                                    const DeadlineShedSpec& shed) const {
+  const auto& spec = app_.request_type(req.type);
+  const ResidualCost& rc =
+      residual_costs_[static_cast<std::size_t>(req.type)][hop];
+  const double mult = req.heavy ? spec.heavy_multiplier : 1.0;
+  // Expected-value feasibility estimate: mean residual CPU (demand factors /
+  // queueing excluded — margin is the knob that absorbs them) plus the
+  // network messages still to pay at today's per-message latency.
+  const double expected =
+      mult * rc.cpu_mean +
+      rc.messages * static_cast<double>(NetLatency());
+  const double required =
+      shed.margin * (1.0 + shed.depth_weight * static_cast<double>(hop)) *
+      expected;
+  return static_cast<double>(req.deadline - sim_.Now()) < required;
+}
+
+std::int64_t Cluster::deadline_sheds() const {
+  std::int64_t total = 0;
+  for (const auto& svc : services_) total += svc->deadline_sheds();
+  return total;
+}
+
+std::string Cluster::DrainInvariantsBroken() const {
+  std::string out;
+  const auto fail = [&out](const std::string& msg) {
+    out += msg;
+    out += '\n';
+  };
+  if (completed_count_ != next_request_id_) {
+    fail("requests not conserved: " + std::to_string(next_request_id_) +
+         " admitted vs " + std::to_string(completed_count_) + " completed");
+  }
+  std::uint64_t by_outcome = 0;
+  for (const auto c : outcome_counts_) by_outcome += c;
+  if (by_outcome != completed_count_) {
+    fail("outcome counts sum to " + std::to_string(by_outcome) + ", not " +
+         std::to_string(completed_count_));
+  }
+  const LifecycleStats pools = lifecycle_stats();
+  const auto pool_check = [&fail](const char* name,
+                                  const sim::SlabPoolStats& s) {
+    if (s.live != 0) {
+      fail(std::string("leaked ") + name + " slots: " +
+           std::to_string(s.live));
+    }
+  };
+  pool_check("ActiveRequest", pools.requests);
+  pool_check("CallState", pools.calls);
+  pool_check("HopCtx", pools.hops);
+  for (const auto& svc : services_) out += svc->IdleInvariantsBroken();
+  return out;
 }
 
 void Cluster::OnSlotGranted(sim::PoolHandle hop_h) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "microsvc/application.h"
@@ -159,6 +160,18 @@ class Cluster {
   };
   LifecycleStats lifecycle_stats() const;
 
+  /// End-of-run conservation check, meaningful once the simulation has fully
+  /// drained (no pending events): every submitted request reached exactly
+  /// one terminal outcome (admitted == sum over outcome kinds), the three
+  /// lifecycle slab pools leaked no handles, and every service is quiescent
+  /// (no held slots, stranded waiters, live CPU work, or charged
+  /// downstream gates). Returns "" when healthy, else one violation per
+  /// line. Tier-1 tests assert this at drain.
+  std::string DrainInvariantsBroken() const;
+
+  /// Requests refused by deadline-aware shedding across all services.
+  std::int64_t deadline_sheds() const;
+
  private:
   /// Per-hop trace timestamps (a retried hop records its last attempt).
   struct HopTrace {
@@ -202,6 +215,10 @@ class Cluster {
     ServiceId caller = kInvalidService;
     bool sent = false;  ///< actually issued (false: breaker/deadline fast-fail)
     bool deadline_limited = false;  ///< timeout truncated by the deadline
+    /// Charged the caller's per-downstream gate (bulkhead/adaptive limit);
+    /// ResolveCall must uncharge and feed the limiter an RTT sample.
+    bool gated = false;
+    SimTime issued_at = 0;  ///< gate-admission time, start of the RTT sample
     sim::EventHandle timeout;
   };
 
@@ -235,15 +252,29 @@ class Cluster {
   void Unref(sim::PoolHandle req_h);
   SimDuration BackoffDelay(const RpcPolicy& policy, std::int32_t attempt);
   SimDuration DrawDemand(SimDuration mean, double multiplier);
+  /// True when the request's remaining deadline budget cannot cover the
+  /// expected residual path cost from `hop` onward under `shed`'s margin.
+  bool ShouldShedForDeadline(const ActiveRequest& req, std::uint32_t hop,
+                             const DeadlineShedSpec& shed) const;
   SimDuration NetLatency() const {
     return app_.net_latency() + extra_net_latency_;
   }
+
+  /// Expected residual cost of a request type from hop h (inclusive) to the
+  /// client's reply, precomputed per (type, hop) for the deadline shedder:
+  /// mean CPU microseconds still to burn (pre+post of every remaining hop,
+  /// before the heavy multiplier) and network messages still to pay.
+  struct ResidualCost {
+    double cpu_mean = 0;
+    double messages = 0;
+  };
 
   sim::Simulation& sim_;
   const Application& app_;
   RngStream demand_rng_;
   RngStream retry_rng_;
   std::vector<std::unique_ptr<Service>> services_;
+  std::vector<std::vector<ResidualCost>> residual_costs_;  ///< [type][hop]
   sim::SlabPool<ActiveRequest> requests_;
   sim::SlabPool<CallState> calls_;
   sim::SlabPool<HopCtx> hops_;

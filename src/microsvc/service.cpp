@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 namespace grunt::microsvc {
@@ -174,6 +175,78 @@ void Service::ReportCallerOutcome(ServiceId caller, bool ok) {
     st.consecutive_failures = spec_.breaker_threshold;
     st.open_until = sim_.Now() + spec_.breaker_cooldown;
   }
+}
+
+Service::DownstreamGate Service::AdmitDownstreamCall(ServiceId downstream) {
+  const auto idx = static_cast<std::size_t>(downstream);
+  if (idx >= downstream_.size()) downstream_.resize(idx + 1);
+  DownstreamState& st = downstream_[idx];
+  // Bulkhead first: a hard partition of the pool trumps the adaptive limit.
+  if (spec_.bulkhead_per_downstream > 0 &&
+      st.in_flight >= spec_.bulkhead_per_downstream * replicas_) {
+    ++bulkhead_rejections_;
+    return DownstreamGate::kBulkheadFull;
+  }
+  if (spec_.adaptive_limit.enabled) {
+    if (st.limit == 0) st.limit = spec_.adaptive_limit.max_limit;
+    if (st.in_flight >= static_cast<std::int32_t>(st.limit)) {
+      ++limiter_rejections_;
+      return DownstreamGate::kLimitClamped;
+    }
+  }
+  ++st.in_flight;
+  return DownstreamGate::kAdmitted;
+}
+
+void Service::EndDownstreamCall(ServiceId downstream, SimDuration rtt, bool ok,
+                                SimDuration nominal_rtt) {
+  DownstreamState& st = downstream_[static_cast<std::size_t>(downstream)];
+  --st.in_flight;
+  const AdaptiveLimitSpec& al = spec_.adaptive_limit;
+  if (!al.enabled) return;
+  if (st.limit == 0) st.limit = al.max_limit;
+  if (ok && (st.rtt_floor == 0 || rtt < st.rtt_floor)) st.rtt_floor = rtt;
+  const SimDuration floor = nominal_rtt > 0 ? nominal_rtt : st.rtt_floor;
+  // Failures count as congestion: timeouts obviously, and a rejected /
+  // crashed call means the edge is unhealthy — backing off is the safe read.
+  const bool congested =
+      !ok || (floor > 0 && static_cast<double>(rtt) >
+                               al.rtt_tolerance * static_cast<double>(floor));
+  if (congested) {
+    st.limit = std::max<double>(al.min_limit, st.limit * al.decrease_factor);
+  } else if (st.limit < al.max_limit) {
+    st.limit = std::min<double>(al.max_limit, st.limit + 1.0 / st.limit);
+  }
+}
+
+std::int32_t Service::downstream_in_flight(ServiceId downstream) const {
+  const auto idx = static_cast<std::size_t>(downstream);
+  return idx < downstream_.size() ? downstream_[idx].in_flight : 0;
+}
+
+double Service::adaptive_limit_now(ServiceId downstream) const {
+  const auto idx = static_cast<std::size_t>(downstream);
+  if (idx >= downstream_.size() || downstream_[idx].limit == 0) {
+    return spec_.adaptive_limit.max_limit;
+  }
+  return downstream_[idx].limit;
+}
+
+std::string Service::IdleInvariantsBroken() const {
+  std::string out;
+  const auto fail = [&](const char* what, std::int64_t count) {
+    out += spec_.name + ": " + what + " = " + std::to_string(count) + "\n";
+  };
+  if (slots_in_use_ != 0) fail("slots still held", slots_in_use_);
+  if (!slot_waiters_.empty()) fail("slot waiters stranded", slots_waiting());
+  if (cpu_busy_ != 0) fail("cpu bursts still running", cpu_busy_);
+  if (!cpu_queue_.empty()) fail("cpu bursts still queued", cpu_queue_length());
+  for (std::size_t d = 0; d < downstream_.size(); ++d) {
+    if (downstream_[d].in_flight != 0) {
+      fail("downstream-gate charges leaked", downstream_[d].in_flight);
+    }
+  }
+  return out;
 }
 
 }  // namespace grunt::microsvc

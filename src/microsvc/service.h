@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "microsvc/types.h"
@@ -30,6 +31,14 @@ namespace grunt::microsvc {
 ///  * **Crash / restart** — a crash removes one replica (possibly the last)
 ///    and kills that replica's share of running and queued CPU bursts; a
 ///    restart restores capacity and re-admits waiting work.
+///
+/// Graceful-degradation extensions (also dormant by default):
+///  * **Per-downstream bulkhead + adaptive limiter** — this service, as a
+///    *caller*, gates each outgoing RPC edge on a per-downstream in-flight
+///    quota (bulkhead) and an RTT-driven AIMD limit, so a slow dependency
+///    can only pin a bounded share of this pool's threads.
+///  * **Deadline-aware shedding** — the Cluster consults this service's
+///    DeadlineShedSpec on arrival and counts sheds here.
 class Service {
  public:
   Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id);
@@ -90,6 +99,41 @@ class Service {
   /// (fast-fails are not reported, or an open breaker could never close).
   void ReportCallerOutcome(ServiceId caller, bool ok);
 
+  // --- degradation gate (this service as the CALLER of an RPC edge) ---
+  enum class DownstreamGate : std::uint8_t {
+    kAdmitted = 0,      ///< charged; pair with EndDownstreamCall
+    kBulkheadFull = 1,  ///< per-downstream quota exhausted
+    kLimitClamped = 2,  ///< adaptive limit reached
+  };
+  /// True when any caller-side gate is configured; the Cluster skips the
+  /// gate entirely otherwise, keeping the default hot path untouched.
+  bool degradation_enabled() const {
+    return spec_.bulkhead_per_downstream > 0 || spec_.adaptive_limit.enabled;
+  }
+  /// Admission decision for a call this service is about to issue into
+  /// `downstream`. kAdmitted charges the edge's in-flight count.
+  DownstreamGate AdmitDownstreamCall(ServiceId downstream);
+  /// Resolves a previously admitted call: uncharges the edge and feeds the
+  /// AIMD limiter one (rtt, ok) sample. A nonzero `nominal_rtt` (from the
+  /// edge's RpcPolicy) overrides the learned no-load floor.
+  void EndDownstreamCall(ServiceId downstream, SimDuration rtt, bool ok,
+                         SimDuration nominal_rtt);
+  std::int32_t downstream_in_flight(ServiceId downstream) const;
+  /// Current adaptive limit on the edge (max_limit when never exercised).
+  double adaptive_limit_now(ServiceId downstream) const;
+  std::int64_t bulkhead_rejections() const { return bulkhead_rejections_; }
+  std::int64_t limiter_rejections() const { return limiter_rejections_; }
+  // --- deadline shedding (this service as the CALLEE; gate lives in
+  //     Cluster::CallArrives, which owns the residual-cost estimate) ---
+  void NoteDeadlineShed() { ++deadline_sheds_; }
+  std::int64_t deadline_sheds() const { return deadline_sheds_; }
+
+  /// Drain-time quiescence check: once the simulation has no pending events
+  /// and every request completed, nothing may still hold a slot, CPU burst,
+  /// or downstream-gate charge here. Empty string = healthy; otherwise one
+  /// "name: violation" line per problem.
+  std::string IdleInvariantsBroken() const;
+
   // --- instantaneous metrics ---
   std::int32_t slots_in_use() const { return slots_in_use_; }
   std::int32_t slots_waiting() const {
@@ -124,6 +168,12 @@ class Service {
     std::int32_t consecutive_failures = 0;
     SimTime open_until = 0;
   };
+  /// Caller-side state of one outgoing RPC edge (this service → downstream).
+  struct DownstreamState {
+    std::int32_t in_flight = 0;
+    double limit = 0;          ///< adaptive limit; 0 = starts at max_limit
+    SimDuration rtt_floor = 0; ///< fastest successful RTT seen; 0 = none yet
+  };
 
   void AccumulateBusy();
   void MaybeStartCpu();
@@ -156,6 +206,12 @@ class Service {
   /// are dense small service ids and the breaker check sits on the per-call
   /// hot path.
   std::vector<BreakerState> breakers_;
+  /// Per-downstream gate state, indexed by downstream ServiceId (same dense
+  /// flat-storage idiom as breakers_). Grown on first call into an edge.
+  std::vector<DownstreamState> downstream_;
+  std::int64_t bulkhead_rejections_ = 0;
+  std::int64_t limiter_rejections_ = 0;
+  std::int64_t deadline_sheds_ = 0;
 };
 
 }  // namespace grunt::microsvc

@@ -60,8 +60,51 @@ struct RpcPolicy {
   double backoff_multiplier = 2.0;
   /// Jitter fraction j: each backoff is scaled by 1 + U(-j, +j). 0 = exact.
   double jitter = 0.0;
+  /// No-load RTT prior for this edge, seeding the caller's adaptive
+  /// concurrency limiter (ServiceSpec::adaptive_limit). 0 = learn the floor
+  /// from the fastest observed reply instead.
+  SimDuration nominal_rtt = 0;
 
   friend bool operator==(const RpcPolicy&, const RpcPolicy&) = default;
+};
+
+/// Caller-side adaptive concurrency limiter, one instance per (service →
+/// downstream) RPC edge: an AIMD limit on in-flight calls driven by observed
+/// RTT against the edge's no-load RTT (gradient-style, after Netflix
+/// concurrency-limits). When a millibottleneck forms downstream, RTTs grow
+/// past `rtt_tolerance` × floor and the limit decays multiplicatively,
+/// clamping how many of the caller's threads can pile onto the slow edge —
+/// the execution-dependency coupling the Grunt attack exploits.
+struct AdaptiveLimitSpec {
+  bool enabled = false;
+  std::int32_t min_limit = 2;   ///< decay floor (keeps probing the edge)
+  std::int32_t max_limit = 64;  ///< growth ceiling, also the initial limit
+  /// A sample is "congested" when rtt > rtt_tolerance * no-load floor.
+  double rtt_tolerance = 2.0;
+  /// Multiplicative decrease on a congested or failed sample; good samples
+  /// add 1/limit (congestion-avoidance additive increase).
+  double decrease_factor = 0.9;
+
+  friend bool operator==(const AdaptiveLimitSpec&,
+                         const AdaptiveLimitSpec&) = default;
+};
+
+/// Callee-side deadline-aware shedding: on arrival — before the call consumes
+/// a thread slot — refuse the request when its remaining end-to-end budget
+/// cannot cover the expected residual path cost (remaining CPU demand plus
+/// remaining network messages). `depth_weight` inflates the required slack
+/// with hop depth, so when budgets tighten the deepest pending work sheds
+/// first and partially-executed subtrees drain instead of piling up.
+struct DeadlineShedSpec {
+  bool enabled = false;
+  /// Required slack as a multiple of the expected residual cost (demands are
+  /// means, so 1.0 is an expected-value feasibility check).
+  double margin = 1.0;
+  /// Extra margin per hop of depth: required = margin * (1 + depth_weight*h).
+  double depth_weight = 0.0;
+
+  friend bool operator==(const DeadlineShedSpec&,
+                         const DeadlineShedSpec&) = default;
 };
 
 /// One hop of a request type's critical path (Fig 2(c)): the service visited,
@@ -119,6 +162,18 @@ struct ServiceSpec {
   /// for `breaker_cooldown`. 0 = disabled.
   std::int32_t breaker_threshold = 0;
   SimDuration breaker_cooldown = Ms(500);
+  /// Bulkhead: at most `bulkhead_per_downstream * replicas` of this service's
+  /// calls may be in flight into any single downstream at once; excess calls
+  /// fast-fail (kRejected) on the caller side. Partitioning the thread pool
+  /// per dependency means one slow callee can no longer occupy every slot.
+  /// 0 = disabled (seed behaviour).
+  std::int32_t bulkhead_per_downstream = 0;
+  /// Adaptive per-downstream concurrency limiter (caller side), off by
+  /// default.
+  AdaptiveLimitSpec adaptive_limit;
+  /// Deadline-aware shedding at this service's admission (callee side), off
+  /// by default.
+  DeadlineShedSpec deadline_shed;
 
   friend bool operator==(const ServiceSpec&, const ServiceSpec&) = default;
 };

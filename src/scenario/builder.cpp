@@ -39,6 +39,21 @@ SpecBuilder& SpecBuilder::SetBackendAdmission(
   return *this;
 }
 
+SpecBuilder& SpecBuilder::SetBackendDegradation(
+    std::int32_t bulkhead_per_downstream,
+    const microsvc::AdaptiveLimitSpec& adaptive_limit,
+    const microsvc::DeadlineShedSpec& deadline_shed) {
+  bulkhead_per_downstream_ = bulkhead_per_downstream;
+  adaptive_limit_ = adaptive_limit;
+  deadline_shed_ = deadline_shed;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::SetEndpointDeadline(SimDuration deadline) {
+  endpoint_deadline_ = deadline;
+  return *this;
+}
+
 const std::string& SpecBuilder::AddService(std::string name,
                                            std::int32_t threads,
                                            std::int32_t cores,
@@ -54,6 +69,9 @@ const std::string& SpecBuilder::AddService(std::string name,
     svc.max_queue_per_replica = max_queue_per_replica_;
     svc.breaker_threshold = breaker_threshold_;
     svc.breaker_cooldown = breaker_cooldown_;
+    svc.bulkhead_per_downstream = bulkhead_per_downstream_;
+    svc.adaptive_limit = adaptive_limit_;
+    svc.deadline_shed = deadline_shed_;
   }
   spec_.services.push_back(std::move(svc));
   return spec_.services.back().name;
@@ -82,6 +100,7 @@ void SpecBuilder::AddStagedEndpoint(std::string name,
   ep.heavy_multiplier = heavy_multiplier;
   ep.request_bytes = request_bytes;
   ep.response_bytes = response_bytes;
+  ep.deadline = endpoint_deadline_;
   spec_.endpoints.push_back(std::move(ep));
 }
 

@@ -37,6 +37,16 @@ class SpecBuilder {
   SpecBuilder& SetBackendAdmission(std::int32_t max_queue_per_replica,
                                    std::int32_t breaker_threshold,
                                    SimDuration breaker_cooldown);
+  /// Graceful-degradation deployment (bulkhead quota, adaptive limiter,
+  /// deadline shedding) stamped onto every subsequently added backend
+  /// service — the same backend-only rule as SetBackendAdmission.
+  SpecBuilder& SetBackendDegradation(
+      std::int32_t bulkhead_per_downstream,
+      const microsvc::AdaptiveLimitSpec& adaptive_limit,
+      const microsvc::DeadlineShedSpec& deadline_shed);
+  /// End-to-end deadline stamped onto every subsequently added dynamic
+  /// endpoint (static endpoints never reach the backend). 0 = none.
+  SpecBuilder& SetEndpointDeadline(SimDuration deadline);
 
   /// Adds a service; `max_replicas` 0 means `replicas * 8` (the app idiom).
   /// Returns the service name (specs reference services by name).
@@ -68,6 +78,10 @@ class SpecBuilder {
   std::int32_t max_queue_per_replica_ = 0;
   std::int32_t breaker_threshold_ = 0;
   SimDuration breaker_cooldown_ = Ms(500);
+  std::int32_t bulkhead_per_downstream_ = 0;
+  microsvc::AdaptiveLimitSpec adaptive_limit_;
+  microsvc::DeadlineShedSpec deadline_shed_;
+  SimDuration endpoint_deadline_ = 0;
 };
 
 }  // namespace grunt::scenario

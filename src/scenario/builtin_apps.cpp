@@ -30,6 +30,9 @@ ScenarioSpec SocialNetworkScenario(const DeploymentParams& p) {
   b.SetDefaultRpc(p.default_rpc);
   b.SetBackendAdmission(p.max_queue_per_replica, p.breaker_threshold,
                         p.breaker_cooldown);
+  b.SetBackendDegradation(p.bulkhead_per_downstream, p.adaptive_limit,
+                          p.deadline_shed);
+  b.SetEndpointDeadline(p.endpoint_deadline);
 
   const std::int32_t r = p.replica_scale;
   // queue_scale applies to backend services; the gateway keeps its huge
@@ -84,6 +87,8 @@ ScenarioSpec SocialNetworkScenario(const DeploymentParams& p) {
   auto D = [cs](double ms) { return ScaledDemand(ms, cs); };
   auto type = [&](const char* name, std::vector<CallSpec> calls, double heavy,
                   std::int64_t req_bytes, std::int64_t resp_bytes) {
+    if (p.client_rpc) calls[0].rpc = p.client_rpc;
+    if (p.edge_rpc && calls.size() > 1) calls[1].rpc = p.edge_rpc;
     b.AddChainEndpoint(name, std::move(calls), heavy, req_bytes, resp_bytes);
   };
 
@@ -215,6 +220,9 @@ ScenarioSpec HotelReservationScenario(const DeploymentParams& p) {
   b.SetDefaultRpc(p.default_rpc);
   b.SetBackendAdmission(p.max_queue_per_replica, p.breaker_threshold,
                         p.breaker_cooldown);
+  b.SetBackendDegradation(p.bulkhead_per_downstream, p.adaptive_limit,
+                          p.deadline_shed);
+  b.SetEndpointDeadline(p.endpoint_deadline);
 
   const std::int32_t r = p.replica_scale;
   auto svc = [&](const char* name, std::int32_t threads, std::int32_t cores,
@@ -251,6 +259,8 @@ ScenarioSpec HotelReservationScenario(const DeploymentParams& p) {
   auto D = [cs](double ms) { return ScaledDemand(ms, cs); };
   auto type = [&](const char* name, std::vector<CallSpec> calls, double heavy,
                   std::int64_t req_bytes, std::int64_t resp_bytes) {
+    if (p.client_rpc) calls[0].rpc = p.client_rpc;
+    if (p.edge_rpc && calls.size() > 1) calls[1].rpc = p.edge_rpc;
     b.AddChainEndpoint(name, std::move(calls), heavy, req_bytes, resp_bytes);
   };
 
@@ -333,6 +343,78 @@ ScenarioSpec HotelReservationScenario(const DeploymentParams& p) {
                                   {"user/login", 6},
                                   {"profile/view", 8},
                                   {"static/map-tile.png", 3}});
+  return scenario;
+}
+
+DeploymentParams DefendedDeployment(DeploymentParams p) {
+  // The reference anti-Grunt stack. Values are calibrated against
+  // bench_defense_degradation's acceptance bar (amplification < 3x at
+  // within-5% legitimate goodput on the EC2-7K SocialNetwork campaign).
+  // The load-bearing idea is "retry at the edge, fail fast in the core":
+  //  * interior edges never retry and carry a short per-attempt timeout, so
+  //    a rejection or millibottleneck at a worker frees the caller's thread
+  //    immediately instead of pinning it through backoff cycles — in-slot
+  //    retries are exactly the execution dependency the attack exploits,
+  //    recursively re-created by the fault-tolerance layer;
+  //  * only the gateway edge retries (its pool is too large to pin), with
+  //    backoffs long enough to bridge a burst's drain, so legit calls
+  //    caught in a millibottleneck land on a later attempt;
+  //  * per-downstream bulkheads cap how much of a pool one edge can take;
+  //  * the AIMD limiter clamps the attacked edge once RTTs leave the
+  //    nominal band. nominal_rtt anchors the congestion test: the learned
+  //    floor under exponential service times is a lucky near-zero draw,
+  //    which would make honest RTTs read as congested;
+  //  * deadline shedding drops doomed work before it consumes a slot,
+  //    deepest-first, against a 1 s end-to-end budget.
+  if (!p.default_rpc) {
+    microsvc::RpcPolicy rpc;
+    rpc.timeout = Ms(150);
+    rpc.max_retries = 0;  // fail fast: never retry while holding a slot
+    rpc.nominal_rtt = Ms(20);  // congested above tolerance x this
+    p.default_rpc = rpc;
+  }
+  if (!p.edge_rpc) {
+    microsvc::RpcPolicy rpc;
+    rpc.timeout = Ms(250);  // covers a fail-fast subtree attempt
+    rpc.max_retries = 4;
+    rpc.backoff_base = Ms(15);
+    rpc.backoff_multiplier = 2.0;
+    rpc.jitter = 0.5;
+    rpc.nominal_rtt = Ms(20);
+    p.edge_rpc = rpc;
+  }
+  if (!p.client_rpc) {
+    microsvc::RpcPolicy rpc;
+    rpc.timeout = Sec(1);  // the user outlasts the gateway's retry span
+    rpc.max_retries = 0;
+    p.client_rpc = rpc;
+  }
+  p.bulkhead_per_downstream = 12;
+  // The bulkhead's second half: a bounded arrival queue. Without it, a
+  // caller timeout leaves the queued arrival behind as orphan work, so a
+  // burst's overflow parks in the shared upstream's unbounded thread queue
+  // and keeps it a millibottleneck long after every caller has given up.
+  p.max_queue_per_replica = 16;
+  p.adaptive_limit.enabled = true;
+  p.adaptive_limit.min_limit = 4;
+  p.adaptive_limit.max_limit = 24;
+  p.adaptive_limit.rtt_tolerance = 3.0;
+  p.adaptive_limit.decrease_factor = 0.7;
+  p.deadline_shed.enabled = true;
+  p.deadline_shed.margin = 2.0;
+  p.deadline_shed.depth_weight = 0.5;
+  p.endpoint_deadline = Sec(1);
+  return p;
+}
+
+ScenarioSpec SocialNetworkDefendedScenario() {
+  ScenarioSpec scenario = SocialNetworkScenario(DefendedDeployment());
+  scenario.name = "socialnetwork_defended";
+  scenario.topology.name = "socialnetwork_defended";
+  scenario.description =
+      "DeathStarBench SocialNetwork with the graceful-degradation layer "
+      "deployed (timeouts, per-downstream bulkheads, adaptive concurrency "
+      "limits, deadline-aware shedding)";
   return scenario;
 }
 

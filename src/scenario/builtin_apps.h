@@ -26,9 +26,28 @@ struct DeploymentParams {
   double queue_scale = 1.0;
   /// Fault-tolerance deployment, all off by default (paper configuration).
   std::optional<microsvc::RpcPolicy> default_rpc;
+  /// Policy for the gateway->backend edge only (the call INTO the first
+  /// backend hop of every dynamic endpoint). Unset = default_rpc. The
+  /// defended preset retries here and nowhere else: the gateway pool is too
+  /// large to pin, so it can afford to wait out a burst, while interior
+  /// edges fail fast and free their caller's slot immediately.
+  std::optional<microsvc::RpcPolicy> edge_rpc;
+  /// Policy for hop 0 — how long the external client waits before
+  /// abandoning a request. Unset = default_rpc. The defended preset pins
+  /// this to the endpoint deadline so the user outlasts the gateway's
+  /// retry span instead of hanging up mid-recovery.
+  std::optional<microsvc::RpcPolicy> client_rpc;
   std::int32_t max_queue_per_replica = 0;
   std::int32_t breaker_threshold = 0;
   SimDuration breaker_cooldown = Ms(500);
+  /// Graceful-degradation deployment (anti-Grunt countermeasures), stamped
+  /// onto backend services like the admission knobs above; all off by
+  /// default.
+  std::int32_t bulkhead_per_downstream = 0;
+  microsvc::AdaptiveLimitSpec adaptive_limit;
+  microsvc::DeadlineShedSpec deadline_shed;
+  /// End-to-end deadline stamped onto every dynamic endpoint. 0 = none.
+  SimDuration endpoint_deadline = 0;
   /// Closed-loop population; 0 keeps the scenario's reference default
   /// (SocialNetwork 7000, HotelReservation 5000).
   std::int32_t users = 0;
@@ -42,5 +61,16 @@ ScenarioSpec SocialNetworkScenario(const DeploymentParams& params = {});
 /// HotelReservation-style travel-booking topology: search and reservation
 /// fan-ins plus independent login/profile paths (two dependency groups).
 ScenarioSpec HotelReservationScenario(const DeploymentParams& params = {});
+
+/// The reference anti-Grunt deployment preset used by the defended
+/// scenario and bench_defense_degradation: short timeouts, per-downstream
+/// bulkheads, adaptive concurrency limits, deadline-aware shedding and a
+/// 1-second end-to-end deadline on every dynamic endpoint.
+DeploymentParams DefendedDeployment(DeploymentParams params = {});
+
+/// SocialNetwork with the full degradation layer deployed — the same
+/// topology and workload as `socialnetwork`, differing only in the defense
+/// knobs (shipped as specs/socialnetwork_defended.json).
+ScenarioSpec SocialNetworkDefendedScenario();
 
 }  // namespace grunt::scenario

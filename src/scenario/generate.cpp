@@ -33,6 +33,9 @@ ScenarioSpec GenerateMubench(std::uint64_t seed, const MubenchParams& p) {
   b.SetDefaultRpc(p.default_rpc);
   b.SetBackendAdmission(p.max_queue_per_replica, p.breaker_threshold,
                         p.breaker_cooldown);
+  b.SetBackendDegradation(p.bulkhead_per_downstream, p.adaptive_limit,
+                          p.deadline_shed);
+  b.SetEndpointDeadline(p.endpoint_deadline);
 
   std::int32_t remaining = p.services;
   auto svc = [&](std::string name, std::int32_t threads,

@@ -33,6 +33,13 @@ struct MubenchParams {
   std::int32_t max_queue_per_replica = 0;
   std::int32_t breaker_threshold = 0;
   SimDuration breaker_cooldown = Ms(500);
+  /// Graceful-degradation deployment, all off by default (stamped onto
+  /// backend services like the admission knobs above).
+  std::int32_t bulkhead_per_downstream = 0;
+  microsvc::AdaptiveLimitSpec adaptive_limit;
+  microsvc::DeadlineShedSpec deadline_shed;
+  /// End-to-end deadline stamped onto every dynamic endpoint. 0 = none.
+  SimDuration endpoint_deadline = 0;
   /// Closed-loop population for the scenario's workload section.
   std::int32_t users = 4000;
 };

@@ -27,6 +27,10 @@ const std::vector<RegisteredScenario>& BuiltinScenarios() {
       {"hotelreservation",
        "HotelReservation travel-booking topology, 5000 closed-loop users",
        [] { return HotelReservationScenario(); }},
+      {"socialnetwork_defended",
+       "SocialNetwork with the anti-Grunt degradation layer (timeouts, "
+       "bulkheads, adaptive limits, deadline shedding)",
+       [] { return SocialNetworkDefendedScenario(); }},
       {"mubench-62", "generated unknown-architecture app, 62 services "
                      "(Table IV App.1)",
        [] { return MubenchAtScale(62); }},

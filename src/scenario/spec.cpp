@@ -68,13 +68,15 @@ Value RpcToJson(const microsvc::RpcPolicy& p) {
   v.Set("backoff_base_us", Value(p.backoff_base));
   v.Set("backoff_multiplier", Value(p.backoff_multiplier));
   v.Set("jitter", Value(p.jitter));
+  // Conditional so pre-existing spec files stay byte-identical.
+  if (p.nominal_rtt != 0) v.Set("nominal_rtt_us", Value(p.nominal_rtt));
   return v;
 }
 
 microsvc::RpcPolicy RpcFromJson(const Value& v, const std::string& where) {
   CheckKeys(v,
             {"timeout_us", "max_retries", "backoff_base_us",
-             "backoff_multiplier", "jitter"},
+             "backoff_multiplier", "jitter", "nominal_rtt_us"},
             where);
   microsvc::RpcPolicy p;
   p.timeout = GetDuration(v, "timeout_us", p.timeout);
@@ -83,6 +85,7 @@ microsvc::RpcPolicy RpcFromJson(const Value& v, const std::string& where) {
   p.backoff_multiplier = GetDouble(v, "backoff_multiplier",
                                    p.backoff_multiplier);
   p.jitter = GetDouble(v, "jitter", p.jitter);
+  p.nominal_rtt = GetDuration(v, "nominal_rtt_us", p.nominal_rtt);
   return p;
 }
 
@@ -105,6 +108,39 @@ Value ServiceToJson(const microsvc::ServiceSpec& s) {
   if (s.breaker_cooldown != defaults.breaker_cooldown) {
     v.Set("breaker_cooldown_us", Value(s.breaker_cooldown));
   }
+  if (s.bulkhead_per_downstream != defaults.bulkhead_per_downstream) {
+    v.Set("bulkhead_per_downstream", Value(s.bulkhead_per_downstream));
+  }
+  if (s.adaptive_limit != defaults.adaptive_limit) {
+    const microsvc::AdaptiveLimitSpec al_defaults;
+    Value al;
+    al.Set("enabled", Value(s.adaptive_limit.enabled));
+    if (s.adaptive_limit.min_limit != al_defaults.min_limit) {
+      al.Set("min_limit", Value(s.adaptive_limit.min_limit));
+    }
+    if (s.adaptive_limit.max_limit != al_defaults.max_limit) {
+      al.Set("max_limit", Value(s.adaptive_limit.max_limit));
+    }
+    if (s.adaptive_limit.rtt_tolerance != al_defaults.rtt_tolerance) {
+      al.Set("rtt_tolerance", Value(s.adaptive_limit.rtt_tolerance));
+    }
+    if (s.adaptive_limit.decrease_factor != al_defaults.decrease_factor) {
+      al.Set("decrease_factor", Value(s.adaptive_limit.decrease_factor));
+    }
+    v.Set("adaptive_limit", std::move(al));
+  }
+  if (s.deadline_shed != defaults.deadline_shed) {
+    const microsvc::DeadlineShedSpec ds_defaults;
+    Value ds;
+    ds.Set("enabled", Value(s.deadline_shed.enabled));
+    if (s.deadline_shed.margin != ds_defaults.margin) {
+      ds.Set("margin", Value(s.deadline_shed.margin));
+    }
+    if (s.deadline_shed.depth_weight != ds_defaults.depth_weight) {
+      ds.Set("depth_weight", Value(s.deadline_shed.depth_weight));
+    }
+    v.Set("deadline_shed", std::move(ds));
+  }
   return v;
 }
 
@@ -114,7 +150,8 @@ microsvc::ServiceSpec ServiceFromJson(const Value& v) {
   CheckKeys(v,
             {"name", "threads_per_replica", "cores_per_replica",
              "initial_replicas", "max_replicas", "max_queue_per_replica",
-             "breaker_threshold", "breaker_cooldown_us"},
+             "breaker_threshold", "breaker_cooldown_us",
+             "bulkhead_per_downstream", "adaptive_limit", "deadline_shed"},
             where);
   microsvc::ServiceSpec s;
   s.name = name;
@@ -128,6 +165,32 @@ microsvc::ServiceSpec ServiceFromJson(const Value& v) {
   s.breaker_threshold = GetInt32(v, "breaker_threshold", s.breaker_threshold);
   s.breaker_cooldown = GetDuration(v, "breaker_cooldown_us",
                                    s.breaker_cooldown);
+  s.bulkhead_per_downstream =
+      GetInt32(v, "bulkhead_per_downstream", s.bulkhead_per_downstream);
+  if (const Value* al = v.Find("adaptive_limit")) {
+    CheckKeys(*al,
+              {"enabled", "min_limit", "max_limit", "rtt_tolerance",
+               "decrease_factor"},
+              where + " adaptive_limit");
+    s.adaptive_limit.enabled =
+        GetBool(*al, "enabled", s.adaptive_limit.enabled);
+    s.adaptive_limit.min_limit =
+        GetInt32(*al, "min_limit", s.adaptive_limit.min_limit);
+    s.adaptive_limit.max_limit =
+        GetInt32(*al, "max_limit", s.adaptive_limit.max_limit);
+    s.adaptive_limit.rtt_tolerance =
+        GetDouble(*al, "rtt_tolerance", s.adaptive_limit.rtt_tolerance);
+    s.adaptive_limit.decrease_factor =
+        GetDouble(*al, "decrease_factor", s.adaptive_limit.decrease_factor);
+  }
+  if (const Value* ds = v.Find("deadline_shed")) {
+    CheckKeys(*ds, {"enabled", "margin", "depth_weight"},
+              where + " deadline_shed");
+    s.deadline_shed.enabled = GetBool(*ds, "enabled", s.deadline_shed.enabled);
+    s.deadline_shed.margin = GetDouble(*ds, "margin", s.deadline_shed.margin);
+    s.deadline_shed.depth_weight =
+        GetDouble(*ds, "depth_weight", s.deadline_shed.depth_weight);
+  }
   return s;
 }
 

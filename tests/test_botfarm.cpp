@@ -46,7 +46,7 @@ TEST_P(BotSpacingProperty, SpacingNeverViolated) {
   SimTime now = 0;
   for (int i = 0; i < 5000; ++i) {
     now += rng.NextExpDuration(Ms(20));
-    const std::uint64_t bot = farm.Acquire(now);
+    const std::uint64_t bot = farm.Acquire(now).value();
     auto it = last_use.find(bot);
     if (it != last_use.end()) {
       ASSERT_GE(now - it->second, Ms(3000))
@@ -65,15 +65,31 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BotSpacingProperty,
 TEST(BotFarm, RoundRobinSpreadsReuse) {
   BotFarm farm({Ms(100), 0});
   // Create 3 bots.
-  const auto a = farm.Acquire(0);
-  const auto b = farm.Acquire(0);
-  const auto c = farm.Acquire(0);
+  const auto a = *farm.Acquire(0);
+  const auto b = *farm.Acquire(0);
+  const auto c = *farm.Acquire(0);
   // All eligible again: reuse should cycle, not hammer one bot.
-  const auto r1 = farm.Acquire(Ms(200));
-  const auto r2 = farm.Acquire(Ms(200));
-  const auto r3 = farm.Acquire(Ms(200));
+  const auto r1 = *farm.Acquire(Ms(200));
+  const auto r2 = *farm.Acquire(Ms(200));
+  const auto r3 = *farm.Acquire(Ms(200));
   EXPECT_EQ((std::set<std::uint64_t>{r1, r2, r3}),
             (std::set<std::uint64_t>{a, b, c}));
+}
+
+TEST(BotFarm, BudgetCapStopsRecruitmentAndFailsAcquire) {
+  BotFarm::Config cfg;
+  cfg.min_spacing = Ms(1000);
+  cfg.max_bots = 2;
+  BotFarm farm(cfg);
+  EXPECT_TRUE(farm.Acquire(0).has_value());
+  EXPECT_TRUE(farm.Acquire(0).has_value());
+  // Budget spent, both bots cooling: no request can be sent...
+  EXPECT_FALSE(farm.Acquire(Ms(10)).has_value());
+  EXPECT_EQ(farm.bot_count(), 2u);
+  EXPECT_EQ(farm.requests_sent(), 2u);  // failed acquires are not sends
+  // ...until the spacing elapses, when existing bots become usable again.
+  EXPECT_TRUE(farm.Acquire(Ms(1000)).has_value());
+  EXPECT_EQ(farm.bot_count(), 2u);
 }
 
 }  // namespace

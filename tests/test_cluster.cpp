@@ -57,6 +57,7 @@ TEST(Cluster, UpstreamSlotsHeldDuringDownstreamWork) {
   EXPECT_EQ(cluster.service(s0).slots_in_use(), 0);
   EXPECT_EQ(cluster.service(s1).slots_in_use(), 0);
   EXPECT_EQ(cluster.completed_count(), 4u);
+  EXPECT_EQ(cluster.DrainInvariantsBroken(), "");
 }
 
 TEST(Cluster, StaticTypeServedAtEdgeWithoutBackendLoad) {

@@ -251,6 +251,7 @@ TEST(FaultInjector, CrashRestartChurnLeaksNothing) {
   EXPECT_EQ(svc.slots_waiting(), 0);
   EXPECT_EQ(svc.cpu_busy(), 0);
   EXPECT_EQ(svc.cpu_queue_length(), 0);
+  EXPECT_EQ(cluster.DrainInvariantsBroken(), "");
 }
 
 }  // namespace

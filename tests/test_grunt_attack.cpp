@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "attack/sim_target_client.h"
 #include "cloud/monitor.h"
 #include "fixtures.h"
@@ -96,6 +98,77 @@ TEST(GruntAttack, RunWithProfileSkipsProfiling) {
   // Calibration alone is far faster than a profile sweep.
   EXPECT_LT(start, Sec(120));
   EXPECT_FALSE(grunt.report().groups.empty());
+}
+
+TEST(GruntAttack, ReplayFiresFixedScheduleWithoutCalibration) {
+  Rig rig(grunt::testing::TwoPathParallelApp(
+              microsvc::ServiceTimeDist::kExponential),
+          120.0);
+  ProfileResult profile;
+  profile.urls = rig.client.CrawlUrls();
+  profile.candidates = {0, 1};
+  profile.baseline_rt_ms = {15.0, 15.0};
+  profile.groups = {{0, 1}};
+
+  GroupReplay schedule;
+  for (const std::int32_t url : {0, 1}) {
+    PathPlan plan;
+    plan.url = url;
+    plan.baseline_ms = 15.0;
+    plan.rate = 2000.0;
+    plan.count = 40;
+    schedule.plans.push_back(plan);
+    schedule.intervals.push_back(Ms(400));
+  }
+  schedule.paths_used = 2;
+
+  GruntConfig cfg;
+  cfg.replay = {schedule};
+  GruntAttack grunt(rig.client, cfg);
+  bool done = false;
+  SimTime start = 0;
+  grunt.OnAttackPhaseStart([&](SimTime at) { start = at; });
+  const SimTime launched = rig.sim.Now();
+  grunt.RunWithProfile(profile, Sec(20), [&](const GruntReport&) {
+    done = true;
+  });
+  while (!done && rig.sim.Now() < Sec(1000)) {
+    rig.sim.RunUntil(rig.sim.Now() + Sec(5));
+  }
+  ASSERT_TRUE(done);
+  // No rate sweep, no L-doubling, no m trial: the burst phase starts
+  // immediately instead of after a calibration phase.
+  EXPECT_LT(start - launched, Ms(1));
+
+  const GruntReport& report = grunt.report();
+  ASSERT_EQ(report.groups.size(), 1u);
+  const GroupStats& g = report.groups[0];
+  EXPECT_EQ(g.paths_used, 2);
+  ASSERT_GT(g.bursts.size(), 4u);
+  // Feedback adaptation is frozen: every burst fires the installed plan
+  // verbatim, however the target responds.
+  for (const auto& b : g.bursts) {
+    EXPECT_EQ(b.count, 40);
+    EXPECT_DOUBLE_EQ(b.rate, 2000.0);
+  }
+}
+
+TEST(GruntAttack, ReplayEntryCountMustMatchGroups) {
+  Rig rig(grunt::testing::TwoPathParallelApp(
+              microsvc::ServiceTimeDist::kExponential),
+          120.0);
+  ProfileResult profile;
+  profile.urls = rig.client.CrawlUrls();
+  profile.candidates = {0, 1};
+  profile.baseline_rt_ms = {15.0, 15.0};
+  profile.groups = {{0, 1}};
+
+  GruntConfig cfg;
+  cfg.replay = {GroupReplay{}, GroupReplay{}};  // two entries, one group
+  GruntAttack grunt(rig.client, cfg);
+  EXPECT_THROW(
+      grunt.RunWithProfile(profile, Sec(5), [](const GruntReport&) {}),
+      std::invalid_argument);
 }
 
 TEST(GruntAttack, MinGroupSizeSkipsSingletons) {

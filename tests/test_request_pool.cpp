@@ -232,6 +232,7 @@ TEST(PooledCrash, RepeatedCrashRestartCyclesRecycleSlotsSafely) {
   // Recycling, not growth: 30 requests never need more than one chunk.
   EXPECT_EQ(st.requests.capacity, 256u);
   EXPECT_EQ(st.requests.acquires, 30u);
+  EXPECT_EQ(cluster.DrainInvariantsBroken(), "");
 }
 
 // --------------------------------------------------------------------------

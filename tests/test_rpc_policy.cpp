@@ -225,6 +225,64 @@ TEST(RpcPolicy, CircuitBreakerOpensFastFailsAndReopensFromHalfOpen) {
   EXPECT_EQ(cluster.service(w).completed_bursts(), 3);
 }
 
+TEST(RpcPolicy, BreakerHalfOpenSurvivesCrashAndRestart) {
+  // Half-open probes interleaved with a replica crash/restart: the crash
+  // kills the in-flight probe (kFailed), which must re-open the breaker;
+  // restarting the replica must NOT reset breaker state (calls during the
+  // new cooldown still fast-fail); the next probe against the healthy
+  // replica closes it again.
+  Application::Builder b;
+  b.SetName("breaker-crash")
+      .SetServiceTimeDist(ServiceTimeDist::kDeterministic)
+      .SetNetLatency(Us(200));
+  const ServiceId gw = b.AddService(Svc("gw", 64, 8));
+  auto wspec = Svc("w", 1, 1);
+  wspec.breaker_threshold = 2;
+  wspec.breaker_cooldown = Ms(100);
+  const ServiceId w = b.AddService(wspec);
+  RpcPolicy p;
+  p.timeout = Ms(10);
+  auto t = Type("t", {{gw, Us(100), 0}, {w, Ms(50), 0}});
+  t.hops[1].rpc = p;
+  b.AddRequestType(t);
+  const Application app = std::move(b).Build();
+
+  sim::Simulation sim;
+  Cluster cluster(sim, app, 1);
+  std::vector<Outcome> outcomes;
+  auto submit_at = [&](SimTime at) {
+    sim.At(at, [&] {
+      cluster.Submit(0, RequestClass::kLegit, false, 1,
+                     [&](const CompletionRecord& r) {
+                       outcomes.push_back(r.outcome);
+                     });
+    });
+  };
+  submit_at(0);        // timeout -> failure #1 at 10.3 ms
+  submit_at(Ms(30));   // timeout -> failure #2, breaker opens until 140.3
+  submit_at(Ms(60));   // open -> fast-fail (not reported: no cooldown bump)
+  submit_at(Ms(150));  // half-open probe, burst starts at 150.5...
+  sim.At(Ms(152), [&] { cluster.service(w).Crash(); });  // ...killed mid-run
+  sim.At(Ms(160), [&] { cluster.service(w).Restart(); });
+  submit_at(Ms(200));  // reopened by the crashed probe: still fast-fails
+  // Heal the worker so the next probe beats the 10 ms timeout.
+  sim.At(Ms(210), [&] { cluster.service(w).MultiplyDemandFactor(0.02); });
+  submit_at(Ms(260));  // cooldown over: probe succeeds, breaker closes
+  submit_at(Ms(270));  // closed: normal service resumes
+  sim.RunAll();
+
+  ASSERT_EQ(outcomes.size(), 7u);
+  EXPECT_EQ(outcomes[0], Outcome::kTimeout);
+  EXPECT_EQ(outcomes[1], Outcome::kTimeout);
+  EXPECT_EQ(outcomes[2], Outcome::kRejected);  // open
+  EXPECT_EQ(outcomes[3], Outcome::kFailed);    // probe died with the replica
+  EXPECT_EQ(outcomes[4], Outcome::kRejected);  // restart kept the breaker open
+  EXPECT_EQ(outcomes[5], Outcome::kOk);        // successful half-open probe
+  EXPECT_EQ(outcomes[6], Outcome::kOk);
+  EXPECT_GE(cluster.service(w).killed_bursts(), 1);
+  EXPECT_EQ(cluster.DrainInvariantsBroken(), "");
+}
+
 TEST(RpcPolicy, JitterStaysWithinConfiguredBand) {
   // jitter 0.5 on base 10ms: every observed retry gap after the 50ms
   // timeout must lie in [50+5, 50+15] ms. Terminal end time is the sum.
@@ -340,6 +398,7 @@ TEST(RpcPolicy, EveryRequestReachesExactlyOneTerminalOutcome) {
   }
   // The crash actually bit: some requests failed or were shed.
   EXPECT_GT(cluster.completed_count() - cluster.ok_count(), 0u);
+  EXPECT_EQ(cluster.DrainInvariantsBroken(), "");
 }
 
 TEST(RpcPolicy, DormantDefaultsChangeNothing) {

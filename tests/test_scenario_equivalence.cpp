@@ -13,6 +13,7 @@
 #include "apps/mubench.h"
 #include "apps/socialnetwork.h"
 #include "microsvc/application.h"
+#include "scenario/builtin_apps.h"
 #include "scenario/loader.h"
 #include "scenario/registry.h"
 #include "util/rng.h"
@@ -494,6 +495,7 @@ TEST(ScenarioEquivalence, ShippedSpecFilesMatchBuiltins) {
       {"mubench-62.json", "mubench-62"},
       {"mubench-118.json", "mubench-118"},
       {"mubench-196.json", "mubench-196"},
+      {"socialnetwork_defended.json", "socialnetwork_defended"},
   };
   for (const auto& c : cases) {
     const auto from_file = scenario::LoadScenarioFile(dir + "/" + c.file);
@@ -504,6 +506,44 @@ TEST(ScenarioEquivalence, ShippedSpecFilesMatchBuiltins) {
         scenario::BuildApplication(from_file.topology),
         scenario::BuildApplication(builtin->topology)))
         << c.file;
+  }
+}
+
+TEST(ScenarioEquivalence, DefendedMechanismsRoundTripPerToggle) {
+  // Each mechanism the defense bench toggles must survive the JSON dump ->
+  // parse -> build path unchanged: spec equality AND structural equality of
+  // the built application, so bench_defense_degradation's matrix and a
+  // file-driven deployment of the same config cannot drift apart.
+  const scenario::DeploymentParams ref = scenario::DefendedDeployment();
+  scenario::DeploymentParams timeouts;
+  timeouts.default_rpc = ref.default_rpc;
+  timeouts.edge_rpc = ref.edge_rpc;
+  timeouts.client_rpc = ref.client_rpc;
+  timeouts.endpoint_deadline = ref.endpoint_deadline;
+  scenario::DeploymentParams bulkhead = timeouts;
+  bulkhead.bulkhead_per_downstream = ref.bulkhead_per_downstream;
+  bulkhead.max_queue_per_replica = ref.max_queue_per_replica;
+  scenario::DeploymentParams adaptive = timeouts;
+  adaptive.adaptive_limit = ref.adaptive_limit;
+  scenario::DeploymentParams shed = timeouts;
+  shed.deadline_shed = ref.deadline_shed;
+
+  const struct {
+    const char* name;
+    const scenario::DeploymentParams& params;
+  } cases[] = {{"timeouts", timeouts},
+               {"bulkhead", bulkhead},
+               {"adaptive", adaptive},
+               {"shed", shed},
+               {"full", ref}};
+  for (const auto& c : cases) {
+    const auto spec = scenario::SocialNetworkScenario(c.params);
+    const auto reparsed = scenario::ParseScenario(scenario::DumpScenario(spec));
+    EXPECT_EQ(spec, reparsed) << c.name;
+    EXPECT_TRUE(microsvc::StructurallyEqual(
+        scenario::BuildApplication(spec.topology),
+        scenario::BuildApplication(reparsed.topology)))
+        << c.name;
   }
 }
 

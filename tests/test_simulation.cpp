@@ -320,6 +320,7 @@ GoldenRun RunGoldenScenario() {
   EventHandle mon = sim.Every(Ms(10), [&ticks] { ++ticks; });
   sim.At(Ms(500), [&mon] { mon.Cancel(); });
   sim.RunAll();
+  EXPECT_EQ(cluster.DrainInvariantsBroken(), "");
 
   GoldenRun out;
   out.events = sim.events_fired();
@@ -428,6 +429,7 @@ GoldenRun RunRetryFaultGoldenScenario() {
   sim.At(Ms(230), [&cluster, leaf_id] { cluster.service(leaf_id).Restart(); });
   sim.At(Ms(260), [&cluster, wa_id] { cluster.service(wa_id).Restart(); });
   sim.RunAll();
+  EXPECT_EQ(cluster.DrainInvariantsBroken(), "");
 
   GoldenRun out;
   out.events = sim.events_fired();
