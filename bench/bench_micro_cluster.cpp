@@ -48,6 +48,7 @@ struct Measurement {
   double req_per_sec = 0;
   std::uint64_t requests = 0;
   microsvc::Cluster::LifecycleStats pools;
+  sim::Simulation::EngineStats engine;
 };
 
 /// Fresh Simulation + Cluster per batch: byte-for-byte the PR 2 baseline
@@ -132,6 +133,39 @@ Measurement MeasureSocialNetwork() {
   return out;
 }
 
+/// The defended timer-churn workload: TimerHeavyApp (per-attempt timeouts,
+/// retries, deadline, bulkheads/limits/shedding) under a steady open-loop
+/// feed near capacity. Nearly every attempt schedules a timeout guard and
+/// cancels it on the in-time reply; `use_wheel` toggles the timing-wheel
+/// fast path so the heap-only run is the baseline for the wheel's speedup.
+Measurement MeasureTimerHeavy(bool use_wheel) {
+  const auto app = bench_fixtures::TimerHeavyApp();
+  sim::Simulation sim;
+  sim.SetTimerWheelEnabled(use_wheel);
+  microsvc::Cluster cluster(sim, app, 1);
+  cluster.SetCompletionLogBound(1024);
+  Measurement out;
+  const auto t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    // One burst per iteration: the whole batch lands at the same instant and
+    // drains through the entry queue, so most requests wait tens of ms
+    // holding only their (wheel-eligible) timeout guard.
+    sim.At(sim.Now(), [&cluster] {
+      for (int i = 0; i < bench_fixtures::kTimerHeavyBatch; ++i) {
+        cluster.Submit(0, microsvc::RequestClass::kLegit, false, 1);
+      }
+    });
+    sim.RunAll();
+    elapsed = SecondsSince(t0);
+  } while (elapsed < kMinWallSec);
+  out.requests = cluster.completed_count();
+  out.req_per_sec = static_cast<double>(out.requests) / elapsed;
+  out.pools = cluster.lifecycle_stats();
+  out.engine = sim.stats();
+  return out;
+}
+
 void PrintPools(std::FILE* f, const microsvc::Cluster::LifecycleStats& st) {
   const auto one = [f](const char* name, const sim::SlabPoolStats& p,
                        const char* trailing) {
@@ -159,15 +193,26 @@ int main() {
   const Measurement steady = MeasureSingleChainSteady();
   std::fprintf(stderr, "measuring SocialNetwork (table1 topology)...\n");
   const Measurement social = MeasureSocialNetwork();
+  std::fprintf(stderr, "measuring timer-heavy chain (wheel)...\n");
+  const Measurement timer_wheel = MeasureTimerHeavy(/*use_wheel=*/true);
+  std::fprintf(stderr, "measuring timer-heavy chain (heap baseline)...\n");
+  const Measurement timer_heap = MeasureTimerHeavy(/*use_wheel=*/false);
 
   const double cold_speedup = cold.req_per_sec / kPr2BaselineReqPerSec;
   const double steady_speedup = steady.req_per_sec / kPr2BaselineReqPerSec;
+  const double wheel_speedup =
+      timer_heap.req_per_sec > 0
+          ? timer_wheel.req_per_sec / timer_heap.req_per_sec
+          : 0.0;
   std::printf("single_chain_cold:    %10.0f req/s  (%.2fx vs PR2 %.1fk)\n",
               cold.req_per_sec, cold_speedup, kPr2BaselineReqPerSec / 1000.0);
   std::printf("single_chain_steady:  %10.0f req/s  (%.2fx vs PR2 %.1fk)\n",
               steady.req_per_sec, steady_speedup,
               kPr2BaselineReqPerSec / 1000.0);
   std::printf("socialnetwork_table1: %10.0f req/s\n", social.req_per_sec);
+  std::printf("timer_heavy (wheel):  %10.0f req/s  (%.2fx vs heap-only %.1fk)\n",
+              timer_wheel.req_per_sec, wheel_speedup,
+              timer_heap.req_per_sec / 1000.0);
 
   const char* path = std::getenv("GRUNT_BENCH_CLUSTER_JSON");
   if (path == nullptr || path[0] == '\0') path = "BENCH_cluster.json";
@@ -200,6 +245,28 @@ int main() {
   std::fprintf(f, "    \"requests\": %llu,\n",
                static_cast<unsigned long long>(social.requests));
   PrintPools(f, social.pools);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"timer_heavy\": {\n");
+  std::fprintf(f, "    \"req_per_sec\": %.0f,\n", timer_wheel.req_per_sec);
+  std::fprintf(f, "    \"requests\": %llu,\n",
+               static_cast<unsigned long long>(timer_wheel.requests));
+  std::fprintf(f, "    \"req_per_sec_heap_only\": %.0f,\n",
+               timer_heap.req_per_sec);
+  std::fprintf(f, "    \"wheel_speedup\": %.2f,\n", wheel_speedup);
+  std::fprintf(f, "    \"wheel\": {\n");
+  std::fprintf(f, "      \"scheduled\": %llu,\n",
+               static_cast<unsigned long long>(
+                   timer_wheel.engine.wheel_scheduled));
+  std::fprintf(f, "      \"cancelled_in_bucket\": %llu,\n",
+               static_cast<unsigned long long>(
+                   timer_wheel.engine.wheel_cancelled));
+  std::fprintf(f, "      \"cascades\": %llu,\n",
+               static_cast<unsigned long long>(
+                   timer_wheel.engine.wheel_cascades));
+  std::fprintf(f, "      \"to_heap\": %llu\n",
+               static_cast<unsigned long long>(
+                   timer_wheel.engine.wheel_to_heap));
+  std::fprintf(f, "    }\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);

@@ -106,6 +106,40 @@ void BM_CancelHeavyCompaction(benchmark::State& state) {
 }
 BENCHMARK(BM_CancelHeavyCompaction);
 
+/// The RPC-timeout churn profile: schedule 1000 far-out kTimer timeouts from
+/// staggered issue times, cancel 99% of them (the replies that made it), let
+/// 1% fire. With the wheel this is O(1) bucket pushes and generation-bump
+/// cancels; on the heap every dead entry has to be sifted in and purged out.
+void TimerChurn(benchmark::State& state, bool use_wheel) {
+  // One long-lived engine: each iteration is a steady-state churn round, not
+  // a cold start, so the numbers isolate the timer path itself.
+  sim::Simulation sim;
+  sim.SetTimerWheelEnabled(use_wheel);
+  int sink = 0;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(1000);
+  for (auto _ : state) {
+    handles.clear();
+    const SimTime base = sim.Now();
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.At(base + i * Us(100) + Ms(25),
+                               sim::EventClass::kTimer, [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      if (i % 100 != 0) handles[i].Cancel();
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_TimerChurnWheel(benchmark::State& state) { TimerChurn(state, true); }
+BENCHMARK(BM_TimerChurnWheel);
+
+void BM_TimerChurnHeap(benchmark::State& state) { TimerChurn(state, false); }
+BENCHMARK(BM_TimerChurnHeap);
+
 void BM_SimulatedRequestThroughput(benchmark::State& state) {
   const auto app = bench_fixtures::SingleChainApp();
   for (auto _ : state) {
@@ -208,6 +242,37 @@ double MeasureEventsPerSec(bool heap_path) {
   return static_cast<double>(events) / elapsed;
 }
 
+/// Events/sec of the schedule/cancel timer-churn loop (see TimerChurn): N
+/// timeouts scheduled, 99% cancelled, 1% fired. Counts scheduled events, so
+/// the wheel/heap numbers are directly comparable.
+double MeasureTimerChurnPerSec(bool use_wheel) {
+  constexpr int kBatch = 1000;
+  sim::Simulation sim;
+  sim.SetTimerWheelEnabled(use_wheel);
+  int sink = 0;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(kBatch);
+  std::uint64_t events = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    handles.clear();
+    const SimTime base = sim.Now();
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(sim.At(base + i * Us(100) + Ms(25),
+                               sim::EventClass::kTimer, [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < kBatch; ++i) {
+      if (i % 100 != 0) handles[i].Cancel();
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sink);
+    events += kBatch;
+    elapsed = SecondsSince(t0);
+  } while (elapsed < 0.25);
+  return static_cast<double>(events) / elapsed;
+}
+
 /// One independent simulated campaign; returns an FNV-1a hash of its result
 /// stream so runs at different thread counts can be compared bit-for-bit.
 std::uint64_t MiniCampaign(std::size_t job) {
@@ -253,6 +318,9 @@ void WriteEngineJson() {
   std::fprintf(stderr, "measuring engine events/sec...\n");
   const double inline_eps = MeasureEventsPerSec(/*heap_path=*/false);
   const double heap_eps = MeasureEventsPerSec(/*heap_path=*/true);
+  std::fprintf(stderr, "measuring timer churn (wheel vs heap)...\n");
+  const double churn_wheel = MeasureTimerChurnPerSec(/*use_wheel=*/true);
+  const double churn_heap = MeasureTimerChurnPerSec(/*use_wheel=*/false);
 
   constexpr std::size_t kJobs = 8;
   const unsigned hw_threads = std::thread::hardware_concurrency();
@@ -279,8 +347,14 @@ void WriteEngineJson() {
   std::fprintf(f, "  \"schema\": 1,\n");
   std::fprintf(f, "  \"engine\": {\n");
   std::fprintf(f, "    \"schedule_fire_events_per_sec\": %.0f,\n", inline_eps);
-  std::fprintf(f, "    \"schedule_fire_heap_events_per_sec\": %.0f\n",
+  std::fprintf(f, "    \"schedule_fire_heap_events_per_sec\": %.0f,\n",
                heap_eps);
+  std::fprintf(f, "    \"timer_churn_wheel_events_per_sec\": %.0f,\n",
+               churn_wheel);
+  std::fprintf(f, "    \"timer_churn_heap_events_per_sec\": %.0f,\n",
+               churn_heap);
+  std::fprintf(f, "    \"timer_churn_wheel_speedup\": %.2f\n",
+               churn_heap > 0 ? churn_wheel / churn_heap : 0.0);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"campaign_fanout\": {\n");
   std::fprintf(f, "    \"jobs\": %zu,\n", kJobs);

@@ -16,6 +16,7 @@ void AutoScaler::Start() {
   if (running_) return;
   running_ = true;
   timer_ = cluster_.simulation().Every(monitor_.granularity(),
+                                       sim::EventClass::kTimer,
                                        [this] { Evaluate(); });
 }
 
@@ -43,7 +44,8 @@ void AutoScaler::Evaluate() {
     if (window.mean() > cfg_.up_threshold &&
         svc.replicas() < svc.spec().max_replicas) {
       last_action_[i] = now;
-      cluster_.simulation().After(cfg_.provision_delay, [this, sid] {
+      cluster_.simulation().After(cfg_.provision_delay,
+                                  sim::EventClass::kTimer, [this, sid] {
         auto& s = cluster_.service(sid);
         s.AddReplica();
         actions_.push_back({cluster_.simulation().Now(), sid, +1,

@@ -22,7 +22,9 @@ void ResourceMonitor::Start() {
         cluster_.service(static_cast<microsvc::ServiceId>(i)).CumBusyCoreTime();
   }
   prev_gateway_bytes_ = cluster_.gateway_bytes();
-  timer_ = cluster_.simulation().Every(cfg_.granularity, [this] { Sample(); });
+  timer_ = cluster_.simulation().Every(cfg_.granularity,
+                                       sim::EventClass::kTimer,
+                                       [this] { Sample(); });
 }
 
 void ResourceMonitor::Stop() {
@@ -90,7 +92,9 @@ ResponseTimeMonitor::ResponseTimeMonitor(microsvc::Cluster& cluster,
 void ResponseTimeMonitor::Start() {
   if (running_) return;
   running_ = true;
-  timer_ = cluster_.simulation().Every(cfg_.granularity, [this] { Flush(); });
+  timer_ = cluster_.simulation().Every(cfg_.granularity,
+                                       sim::EventClass::kTimer,
+                                       [this] { Flush(); });
 }
 
 void ResponseTimeMonitor::Stop() {

@@ -51,6 +51,46 @@ void Simulation::PushEntry(SimTime time, std::uint32_t slot_id,
   SiftUp(heap_.size() - 1);
 }
 
+void Simulation::EnqueueEntry(SimTime time, std::uint32_t slot_id,
+                              std::uint32_t gen) {
+  SlotMeta& m = metas_[slot_id];
+  if (wheel_enabled_ && (m.aux & kAuxTimerClass) != 0 &&
+      time - now_ >= TimerWheel::kMinDelay) {
+    m.aux |= kAuxInWheel;
+    wheel_.Insert(TimerWheel::Entry{time, next_seq_++, slot_id, gen}, now_);
+    ++wheel_live_;
+    ++stats_.wheel_scheduled;
+    return;
+  }
+  PushEntry(time, slot_id, gen);
+}
+
+void Simulation::CascadeWheel(SimTime limit) {
+  // Cascade while a wheel bucket could hold an entry at or before both the
+  // limit and the heap's current top. Bounds are lower bounds on entry
+  // times, so "bound <= heap top" also covers same-time/smaller-seq ties —
+  // after the loop the heap top is the true global minimum up to `limit`.
+  for (;;) {
+    if (wheel_.empty()) return;
+    const SimTime bound = wheel_.EarliestBound();
+    if (bound > limit) return;
+    if (!heap_.empty() && bound > heap_.front().time) return;
+    ++stats_.wheel_cascades;
+    wheel_.CascadeEarliest(
+        [this](const TimerWheel::Entry& e) {
+          const SlotMeta& m = metas_[e.slot];
+          return m.gen == e.gen && (m.aux & kAuxCancelled) == 0;
+        },
+        [this](const TimerWheel::Entry& e) {
+          metas_[e.slot].aux &= ~kAuxInWheel;
+          heap_.push_back(QEntry{e.time, e.seq, e.slot, e.gen});
+          SiftUp(heap_.size() - 1);
+          --wheel_live_;
+          ++stats_.wheel_to_heap;
+        });
+  }
+}
+
 void Simulation::SiftUp(std::size_t i) {
   const QEntry e = heap_[i];
   while (i > 0) {
@@ -140,7 +180,7 @@ EventHandle Simulation::FinishSchedule(SimTime time, std::uint32_t id,
   ++stats_.events_scheduled;
   stats_.inline_callbacks += fn_slot(id).is_inline() ? 1 : 0;
   const std::uint32_t gen = m.gen;
-  PushEntry(time, id, gen);
+  EnqueueEntry(time, id, gen);
   return EventHandle(this, id, gen);
 }
 
@@ -159,6 +199,28 @@ EventHandle Simulation::Every(SimDuration period, InplaceFunction fn) {
   if (period <= 0) ThrowBadPeriod();
   const std::uint32_t id = AllocSlot();
   fn_slot(id) = std::move(fn);
+  return FinishSchedule(now_ + period, id, period);
+}
+
+EventHandle Simulation::At(SimTime at, EventClass cls, InplaceFunction fn) {
+  if (at < now_) ThrowPastTime();
+  const std::uint32_t id = AllocSlot();
+  fn_slot(id) = std::move(fn);
+  if (cls == EventClass::kTimer) metas_[id].aux |= kAuxTimerClass;
+  return FinishSchedule(at, id, /*period=*/0);
+}
+
+EventHandle Simulation::After(SimDuration delay, EventClass cls,
+                              InplaceFunction fn) {
+  return At(now_ + std::max<SimDuration>(0, delay), cls, std::move(fn));
+}
+
+EventHandle Simulation::Every(SimDuration period, EventClass cls,
+                              InplaceFunction fn) {
+  if (period <= 0) ThrowBadPeriod();
+  const std::uint32_t id = AllocSlot();
+  fn_slot(id) = std::move(fn);
+  if (cls == EventClass::kTimer) metas_[id].aux |= kAuxTimerClass;
   return FinishSchedule(now_ + period, id, period);
 }
 
@@ -201,6 +263,9 @@ void Simulation::MaybeCompact() {
 
 bool Simulation::FireNext() {
   if (cancelled_in_heap_ != 0) PurgeTop();
+  if (!wheel_.empty()) {
+    CascadeWheel(std::numeric_limits<SimTime>::max());
+  }
   if (heap_.empty()) return false;
   const QEntry e = heap_.front();
   PopTop();
@@ -220,7 +285,9 @@ bool Simulation::FireNext() {
     if ((m.aux & kAuxCancelled) == 0) {
       // Re-arm after the callback so events it scheduled get earlier
       // sequence numbers (same ordering as a fire-then-reschedule chain).
-      PushEntry(now_ + period, e.slot, m.gen);
+      // A kTimer-classed series re-files into the wheel when the period is
+      // long enough (the class bit persists on the slot across the series).
+      EnqueueEntry(now_ + period, e.slot, m.gen);
     } else {
       FreeSlot(e.slot);
     }
@@ -247,6 +314,7 @@ std::uint64_t Simulation::RunUntil(SimTime until) {
   for (;;) {
     if (stop_requested_) break;
     if (cancelled_in_heap_ != 0) PurgeTop();
+    if (!wheel_.empty()) CascadeWheel(until);
     if (heap_.empty() || heap_.front().time > until) break;
     if (FireNext()) ++fired;
   }
@@ -265,6 +333,16 @@ void Simulation::CancelSlot(std::uint32_t slot_id, std::uint32_t gen) {
   if (slot_id >= metas_.size()) return;
   SlotMeta& m = metas_[slot_id];
   if (m.gen != gen || (m.aux & kAuxCancelled) != 0) return;
+  // Wheel fast path: freeing the slot bumps its generation, which turns the
+  // bucket entry into a tombstone dropped at cascade time. No heap sift, no
+  // compaction bookkeeping — this is what makes cancel-heavy timer churn
+  // cheap.
+  if ((m.aux & kAuxInWheel) != 0) {
+    --wheel_live_;
+    ++stats_.wheel_cancelled;
+    FreeSlot(slot_id);
+    return;
+  }
   m.aux |= kAuxCancelled;
   // A live slot has a heap entry unless it is the repeating event whose
   // callback is currently running; that one is released by FireNext after
@@ -285,6 +363,7 @@ Simulation::EngineStats Simulation::stats() const {
   EngineStats out = stats_;
   out.heap_callbacks = out.events_scheduled - out.inline_callbacks;
   out.slab_chunks = fn_chunks_.size();
+  out.wheel_occupancy = wheel_live_;
   return out;
 }
 

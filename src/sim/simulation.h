@@ -8,11 +8,24 @@
 #include <vector>
 
 #include "sim/inplace_function.h"
+#include "sim/timer_wheel.h"
 #include "util/time_types.h"
 
 namespace grunt::sim {
 
 class Simulation;
+
+/// Scheduling-class hint for At/After/Every. Purely a placement hint: both
+/// classes fire in exactly the same (time, seq) order, the engine just gets
+/// to pick a cheaper backing store for timers that will almost never fire.
+enum class EventClass : std::uint8_t {
+  /// Near-term, likely-to-fire work (the default): straight to the heap.
+  kSequence = 0,
+  /// Far-out, cancel-likely timers (RPC timeouts, retry backoffs, deadline
+  /// guards, periodic operators): eligible for the timing-wheel fast path,
+  /// where cancellation is a generation bump that never touches the heap.
+  kTimer = 1,
+};
 
 /// Handle to a scheduled event; allows cancellation. Copyable; all copies
 /// refer to the same event. A handle is a (slot, generation) ticket into the
@@ -66,6 +79,11 @@ class Simulation {
     std::uint64_t cancelled_purged = 0;  ///< removed by lazy compaction
     std::uint64_t compactions = 0;
     std::size_t slab_chunks = 0;
+    std::uint64_t wheel_scheduled = 0;  ///< kTimer events filed in the wheel
+    std::uint64_t wheel_cancelled = 0;  ///< cancelled in-bucket (no heap work)
+    std::uint64_t wheel_cascades = 0;   ///< bucket flushes
+    std::uint64_t wheel_to_heap = 0;    ///< entries that cascaded into the heap
+    std::size_t wheel_occupancy = 0;    ///< live entries in the wheel now
   };
 
   Simulation() = default;
@@ -85,6 +103,13 @@ class Simulation {
   /// tick) and the event re-arms in place without allocating. Cancelling the
   /// returned handle stops the series.
   EventHandle Every(SimDuration period, InplaceFunction fn);
+
+  /// Classed variants. EventClass::kTimer routes far-enough-out events to
+  /// the timing wheel (O(1) insert/cancel); firing order is identical to the
+  /// unclassed overloads, so the hint is always safe to add.
+  EventHandle At(SimTime at, EventClass cls, InplaceFunction fn);
+  EventHandle After(SimDuration delay, EventClass cls, InplaceFunction fn);
+  EventHandle Every(SimDuration period, EventClass cls, InplaceFunction fn);
 
   /// Zero-copy overloads: a raw callable is constructed directly into its
   /// event slot (one placement-new; no InplaceFunction temporary, no
@@ -116,6 +141,36 @@ class Simulation {
     return FinishSchedule(now_ + period, id, period);
   }
 
+  /// Classed zero-copy overloads (see the InplaceFunction variants above).
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  EventHandle At(SimTime at, EventClass cls, F&& fn) {
+    if (at < now_) {
+      ThrowPastTime();
+    }
+    const std::uint32_t id = AllocSlot();
+    fn_slot(id).Emplace(std::forward<F>(fn));
+    if (cls == EventClass::kTimer) metas_[id].aux |= kAuxTimerClass;
+    return FinishSchedule(at, id, /*period=*/0);
+  }
+
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  EventHandle After(SimDuration delay, EventClass cls, F&& fn) {
+    return At(now_ + std::max<SimDuration>(0, delay), cls,
+              std::forward<F>(fn));
+  }
+
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  EventHandle Every(SimDuration period, EventClass cls, F&& fn) {
+    if (period <= 0) ThrowBadPeriod();
+    const std::uint32_t id = AllocSlot();
+    fn_slot(id).Emplace(std::forward<F>(fn));
+    if (cls == EventClass::kTimer) metas_[id].aux |= kAuxTimerClass;
+    return FinishSchedule(now_ + period, id, period);
+  }
+
   /// Runs until the event queue drains or `until` is reached, whichever is
   /// first. The clock is advanced to `until` on return if the queue drained
   /// earlier. Returns the number of events fired.
@@ -127,10 +182,24 @@ class Simulation {
   /// Requests that the current Run* call return after the in-flight event.
   void Stop() { stop_requested_ = true; }
 
+  /// Enables/disables the timing-wheel fast path for EventClass::kTimer
+  /// events (default on). Affects future schedules only; already-filed wheel
+  /// entries drain normally. Off, every event takes the heap path — the
+  /// baseline the wheel benchmarks and differential tests compare against.
+  void SetTimerWheelEnabled(bool enabled) { wheel_enabled_ = enabled; }
+  bool timer_wheel_enabled() const { return wheel_enabled_; }
+
   std::uint64_t events_fired() const { return events_fired_; }
-  /// Number of live (not cancelled) scheduled events.
+  /// Number of live (not cancelled) scheduled events, wherever they sit:
+  /// heap, wheel, or the repeating slot whose callback is running right now
+  /// (out of the heap mid-callback, but still pending per its handle).
   std::size_t pending_events() const {
-    return heap_.size() - cancelled_in_heap_;
+    std::size_t n = heap_.size() - cancelled_in_heap_ + wheel_live_;
+    if (firing_slot_ != kNilSlot &&
+        (metas_[firing_slot_].aux & kAuxCancelled) == 0) {
+      ++n;
+    }
+    return n;
   }
   EngineStats stats() const;
 
@@ -147,6 +216,8 @@ class Simulation {
     SimDuration period = 0;  ///< > 0: repeating event (Every)
   };
   static constexpr std::uint32_t kAuxCancelled = 1;
+  static constexpr std::uint32_t kAuxTimerClass = 2;  ///< EventClass::kTimer
+  static constexpr std::uint32_t kAuxInWheel = 4;  ///< entry lives in wheel_
 
   /// Priority-queue entry: POD, cheap to sift. `gen` guards against slot
   /// recycling (an entry whose generation no longer matches is dead).
@@ -188,6 +259,14 @@ class Simulation {
   [[noreturn]] static void ThrowPastTime();
   [[noreturn]] static void ThrowBadPeriod();
   void PushEntry(SimTime time, std::uint32_t slot_id, std::uint32_t gen);
+  /// Routes a ready-to-queue event to the wheel (kTimer class, far enough
+  /// out, wheel enabled) or the heap. Consumes one sequence number either
+  /// way, so firing order is independent of the backing store.
+  void EnqueueEntry(SimTime time, std::uint32_t slot_id, std::uint32_t gen);
+  /// Flushes wheel buckets into the heap while the wheel's earliest bound is
+  /// <= min(limit, heap top). After it returns the heap top is the true
+  /// global minimum among events at or before `limit`.
+  void CascadeWheel(SimTime limit);
   // 4-ary min-heap over heap_ (shallower and more cache-friendly than a
   // binary heap; the sift loops are the engine's hottest code).
   void SiftUp(std::size_t i);
@@ -217,6 +296,10 @@ class Simulation {
 
   std::vector<QEntry> heap_;  ///< 4-ary min-heap ordered by (time, seq)
   std::size_t cancelled_in_heap_ = 0;
+
+  TimerWheel wheel_;  ///< far-out kTimer events until their level expires
+  std::size_t wheel_live_ = 0;  ///< live (not cancelled) entries in wheel_
+  bool wheel_enabled_ = true;
 
   EngineStats stats_;
 };

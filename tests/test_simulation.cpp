@@ -131,6 +131,32 @@ TEST(Simulation, PendingEventCountTracksQueue) {
   EXPECT_EQ(sim.events_fired(), 2u);
 }
 
+TEST(Simulation, PendingEventCountAgreesWithHandleDuringEveryCallback) {
+  // While an Every callback executes its slot is out of the heap
+  // (firing_slot_), but the series is still pending per its handle;
+  // pending_events() must count it instead of transiently under-reporting.
+  Simulation sim;
+  EventHandle h;
+  std::vector<std::size_t> observed;
+  std::vector<bool> handle_pending;
+  h = sim.Every(Ms(10), [&] {
+    observed.push_back(sim.pending_events());
+    handle_pending.push_back(h.pending());
+    if (observed.size() == 2) {
+      h.Cancel();
+      // Once cancelled mid-callback the series is no longer pending and
+      // the count must agree immediately.
+      observed.push_back(sim.pending_events());
+      handle_pending.push_back(h.pending());
+    }
+  });
+  sim.RunUntil(Ms(25));
+  ASSERT_EQ(observed.size(), 3u);
+  EXPECT_EQ(observed, (std::vector<std::size_t>{1, 1, 0}));
+  EXPECT_EQ(handle_pending, (std::vector<bool>{true, true, false}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(Simulation, RunUntilDoesNotOvershootPastCancelledHead) {
   // A cancelled head entry must not let RunUntil fire events beyond the
   // boundary (the pre-arena engine had exactly this quirk: the <= until
