@@ -26,12 +26,11 @@ int main() {
   // Count attack-class submissions per 100 ms bucket (Fig 13a).
   TimeSeries attack_rate;
   std::int64_t attack_count = 0, legit_count = 0;
-  rig.cluster().AddSubmitListener(
-      [&](microsvc::RequestTypeId, microsvc::RequestClass cls, std::uint64_t,
-          SimTime) {
-        if (cls == microsvc::RequestClass::kAttack) {
+  rig.cluster().telemetry().submit().Subscribe(
+      [&](const telemetry::RequestSubmit& e) {
+        if (e.cls == microsvc::RequestClass::kAttack) {
           ++attack_count;
-        } else if (cls == microsvc::RequestClass::kLegit) {
+        } else if (e.cls == microsvc::RequestClass::kLegit) {
           ++legit_count;
         }
       });

@@ -14,9 +14,11 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "attack/kalman.h"
@@ -24,7 +26,9 @@
 #include "microsvc/cluster.h"
 #include "model/queuing_model.h"
 #include "sim/simulation.h"
+#include "telemetry/engine_metrics.h"
 #include "trace/dependency.h"
+#include "util/json.h"
 #include "util/parallel_runner.h"
 #include "util/rng.h"
 
@@ -244,8 +248,11 @@ double MeasureEventsPerSec(bool heap_path) {
 
 /// Events/sec of the schedule/cancel timer-churn loop (see TimerChurn): N
 /// timeouts scheduled, 99% cancelled, 1% fired. Counts scheduled events, so
-/// the wheel/heap numbers are directly comparable.
-double MeasureTimerChurnPerSec(bool use_wheel) {
+/// the wheel/heap numbers are directly comparable. `stats_out` (optional)
+/// receives the engine counters accumulated over the run.
+double MeasureTimerChurnPerSec(bool use_wheel,
+                               sim::Simulation::EngineStats* stats_out =
+                                   nullptr) {
   constexpr int kBatch = 1000;
   sim::Simulation sim;
   sim.SetTimerWheelEnabled(use_wheel);
@@ -270,6 +277,7 @@ double MeasureTimerChurnPerSec(bool use_wheel) {
     events += kBatch;
     elapsed = SecondsSince(t0);
   } while (elapsed < 0.25);
+  if (stats_out != nullptr) *stats_out = sim.stats();
   return static_cast<double>(events) / elapsed;
 }
 
@@ -311,6 +319,16 @@ CampaignTiming TimeCampaigns(unsigned threads, std::size_t jobs) {
   return out;
 }
 
+/// Rounds like the old "%.0f" / "%.2f" / "%.3f" emitters so the JSON stays
+/// tidy (util/json prints integral doubles without a decimal point).
+json::Value Round0(double x) { return json::Value(std::round(x)); }
+json::Value Round2(double x) {
+  return json::Value(std::round(x * 100.0) / 100.0);
+}
+json::Value Round3(double x) {
+  return json::Value(std::round(x * 1000.0) / 1000.0);
+}
+
 void WriteEngineJson() {
   const char* path = std::getenv("GRUNT_BENCH_JSON");
   if (path == nullptr || path[0] == '\0') path = "BENCH_engine.json";
@@ -319,7 +337,9 @@ void WriteEngineJson() {
   const double inline_eps = MeasureEventsPerSec(/*heap_path=*/false);
   const double heap_eps = MeasureEventsPerSec(/*heap_path=*/true);
   std::fprintf(stderr, "measuring timer churn (wheel vs heap)...\n");
-  const double churn_wheel = MeasureTimerChurnPerSec(/*use_wheel=*/true);
+  sim::Simulation::EngineStats wheel_stats;
+  const double churn_wheel =
+      MeasureTimerChurnPerSec(/*use_wheel=*/true, &wheel_stats);
   const double churn_heap = MeasureTimerChurnPerSec(/*use_wheel=*/false);
 
   constexpr std::size_t kJobs = 8;
@@ -338,43 +358,49 @@ void WriteEngineJson() {
     identical = serial.hashes == parallel.hashes;
   }
 
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path);
+  json::Object root;
+  root.emplace_back("schema", 2);
+  {
+    json::Object o;
+    o.emplace_back("schedule_fire_events_per_sec", Round0(inline_eps));
+    o.emplace_back("schedule_fire_heap_events_per_sec", Round0(heap_eps));
+    o.emplace_back("timer_churn_wheel_events_per_sec", Round0(churn_wheel));
+    o.emplace_back("timer_churn_heap_events_per_sec", Round0(churn_heap));
+    o.emplace_back("timer_churn_wheel_speedup",
+                   Round2(churn_heap > 0 ? churn_wheel / churn_heap : 0.0));
+    // Full engine counters from the wheel churn run, through the same
+    // telemetry exporter every other metrics dump uses (the "wheel"
+    // subobject carries scheduled/cancelled_in_bucket/cascades/to_heap).
+    o.emplace_back("timer_churn_wheel_counters",
+                   telemetry::EngineStatsJson(wheel_stats));
+    root.emplace_back("engine", json::Value(std::move(o)));
+  }
+  {
+    json::Object o;
+    o.emplace_back("jobs", static_cast<std::int64_t>(kJobs));
+    o.emplace_back("hardware_concurrency",
+                   static_cast<std::int64_t>(hw_threads));
+    o.emplace_back("threads", static_cast<std::int64_t>(par_threads));
+    o.emplace_back("wall_sec_1_thread", Round3(serial.wall_sec));
+    if (can_compare) {
+      o.emplace_back("wall_sec_n_threads", Round3(parallel.wall_sec));
+      o.emplace_back("speedup",
+                     Round2(parallel.wall_sec > 0
+                                ? serial.wall_sec / parallel.wall_sec
+                                : 0.0));
+      o.emplace_back("results_identical", identical);
+    } else {
+      o.emplace_back("speedup", json::Value(nullptr));
+      o.emplace_back("speedup_skipped", "only 1 thread available");
+    }
+    root.emplace_back("campaign_fanout", json::Value(std::move(o)));
+  }
+  try {
+    json::WriteFile(path, json::Value(std::move(root)));
+  } catch (const json::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": 1,\n");
-  std::fprintf(f, "  \"engine\": {\n");
-  std::fprintf(f, "    \"schedule_fire_events_per_sec\": %.0f,\n", inline_eps);
-  std::fprintf(f, "    \"schedule_fire_heap_events_per_sec\": %.0f,\n",
-               heap_eps);
-  std::fprintf(f, "    \"timer_churn_wheel_events_per_sec\": %.0f,\n",
-               churn_wheel);
-  std::fprintf(f, "    \"timer_churn_heap_events_per_sec\": %.0f,\n",
-               churn_heap);
-  std::fprintf(f, "    \"timer_churn_wheel_speedup\": %.2f\n",
-               churn_heap > 0 ? churn_wheel / churn_heap : 0.0);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"campaign_fanout\": {\n");
-  std::fprintf(f, "    \"jobs\": %zu,\n", kJobs);
-  std::fprintf(f, "    \"hardware_concurrency\": %u,\n", hw_threads);
-  std::fprintf(f, "    \"threads\": %u,\n", par_threads);
-  std::fprintf(f, "    \"wall_sec_1_thread\": %.3f,\n", serial.wall_sec);
-  if (can_compare) {
-    std::fprintf(f, "    \"wall_sec_n_threads\": %.3f,\n", parallel.wall_sec);
-    std::fprintf(f, "    \"speedup\": %.2f,\n",
-                 parallel.wall_sec > 0 ? serial.wall_sec / parallel.wall_sec
-                                       : 0.0);
-    std::fprintf(f, "    \"results_identical\": %s\n",
-                 identical ? "true" : "false");
-  } else {
-    std::fprintf(f, "    \"speedup\": null,\n");
-    std::fprintf(f, "    \"speedup_skipped\": \"only 1 thread available\"\n");
-  }
-  std::fprintf(f, "  }\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
   if (can_compare) {
     std::fprintf(stderr, "wrote %s (results_identical=%s)\n", path,
                  identical ? "true" : "false");

@@ -49,7 +49,8 @@ ScenarioResult RunScenario(const apps::ResilienceOptions& res) {
   microsvc::Cluster cluster(sim, app, 91);
 
   std::vector<LegitSample> legit;
-  cluster.AddCompletionListener([&](const microsvc::CompletionRecord& r) {
+  cluster.telemetry().completion().Subscribe(
+      [&](const microsvc::CompletionRecord& r) {
     if (r.cls != microsvc::RequestClass::kLegit) return;
     legit.push_back({r.end, (r.end - r.start) / 1000.0, r.outcome, r.retries});
   });

@@ -1,6 +1,7 @@
 #include "rig.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <iostream>
@@ -8,8 +9,27 @@
 
 #include "scenario/builder.h"
 #include "scenario/loader.h"
+#include "util/json.h"
 
 namespace grunt::bench {
+
+namespace {
+
+/// Per-run observability artifact: when GRUNT_METRICS_JSON names a path, the
+/// campaign functions dump the cluster's full telemetry-registry snapshot
+/// there before tearing the rig down (one file per process; campaign loops
+/// overwrite it, so the artifact holds the last campaign of the run).
+void MaybeExportMetrics(microsvc::Cluster& cluster) {
+  const char* path = std::getenv("GRUNT_METRICS_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  try {
+    json::WriteFile(path, cluster.telemetry().metrics().Snapshot());
+  } catch (const json::Error& e) {
+    std::fprintf(stderr, "GRUNT_METRICS_JSON: %s\n", e.what());
+  }
+}
+
+}  // namespace
 
 std::vector<CloudSetting> PaperSettings() {
   return {
@@ -224,6 +244,7 @@ CampaignResult RunScenarioCampaign(const scenario::ScenarioSpec& spec,
   if (rig.ids() != nullptr) {
     result.attributed_alerts = rig.ids()->attributed_attack_alerts();
   }
+  MaybeExportMetrics(rig.cluster());
   return result;
 }
 
@@ -388,6 +409,7 @@ CampaignResult RunSocialNetworkCampaign(const CloudSetting& setting,
     }
   }
   result.attributed_alerts = rig.ids().attributed_attack_alerts();
+  MaybeExportMetrics(rig.cluster());
   return result;
 }
 

@@ -52,11 +52,10 @@ int main() {
   // detector joins this with the fine monitor afterwards.
   // Ground-truth attacker tags, used only for SCORING the defense.
   std::map<std::uint64_t, bool> is_attacker;
-  cluster.AddSubmitListener([&](microsvc::RequestTypeId,
-                                microsvc::RequestClass cls,
-                                std::uint64_t client, SimTime) {
-    is_attacker[client] = is_attacker[client] ||
-                          (cls != microsvc::RequestClass::kLegit);
+  cluster.telemetry().submit().Subscribe(
+      [&](const telemetry::RequestSubmit& e) {
+    is_attacker[e.client_id] = is_attacker[e.client_id] ||
+                               (e.cls != microsvc::RequestClass::kLegit);
   });
 
   sim.RunUntil(Sec(40));

@@ -48,28 +48,33 @@ void AutoScaler::Evaluate() {
                                   sim::EventClass::kTimer, [this, sid] {
         auto& s = cluster_.service(sid);
         s.AddReplica();
-        actions_.push_back({cluster_.simulation().Now(), sid, +1,
-                            s.replicas()});
+        Record({cluster_.simulation().Now(), sid, +1, s.replicas()});
       });
     } else if (window.mean() < cfg_.down_threshold && svc.replicas() > 1) {
       last_action_[i] = now;
       if (svc.RemoveReplica()) {
-        actions_.push_back({now, sid, -1, svc.replicas()});
+        Record({now, sid, -1, svc.replicas()});
       }
     }
   }
 }
 
-std::size_t AutoScaler::scale_up_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(actions_.begin(), actions_.end(),
-                    [](const ScaleAction& a) { return a.delta > 0; }));
-}
-
-std::size_t AutoScaler::scale_down_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(actions_.begin(), actions_.end(),
-                    [](const ScaleAction& a) { return a.delta < 0; }));
+void AutoScaler::Record(const ScaleAction& action) {
+  if (action.delta > 0) {
+    ++scale_ups_;
+  } else {
+    ++scale_downs_;
+  }
+  actions_.push_back(action);
+  if (action_bound_ > 0 && actions_.size() >= 2 * action_bound_) {
+    // Bounded mode: compact down to the newest `action_bound_` actions.
+    actions_dropped_ += actions_.size() - action_bound_;
+    actions_.erase(actions_.begin(),
+                   actions_.end() -
+                       static_cast<std::ptrdiff_t>(action_bound_));
+  }
+  auto& channel = cluster_.telemetry().scale();
+  if (channel.has_subscribers()) channel.Publish(action);
 }
 
 }  // namespace grunt::cloud

@@ -9,13 +9,10 @@
 
 namespace grunt::cloud {
 
-/// One scaling decision, for post-run analysis (Fig 14 / Fig 15b).
-struct ScaleAction {
-  SimTime at = 0;
-  microsvc::ServiceId service = microsvc::kInvalidService;
-  std::int32_t delta = 0;  ///< +1 scale-out, -1 scale-in
-  std::int32_t replicas_after = 0;
-};
+/// One scaling decision, for post-run analysis (Fig 14 / Fig 15b). The
+/// canonical record lives on the telemetry scale channel; this alias keeps
+/// the historical cloud:: spelling.
+using ScaleAction = telemetry::ScaleEvent;
 
 /// Threshold autoscaler mirroring the paper's policy (Sec V-B): scale up
 /// when a service's CPU utilization exceeds `up_threshold` for `window`
@@ -45,12 +42,32 @@ class AutoScaler {
   void Start();
   void Stop();
 
+  /// Every action taken, in decision order; each is also published on the
+  /// cluster's telemetry scale channel as it happens. In bounded mode (see
+  /// SetActionLogBound) only a suffix is retained — still contiguous and in
+  /// order.
   const std::vector<ScaleAction>& actions() const { return actions_; }
-  std::size_t scale_up_count() const;
-  std::size_t scale_down_count() const;
+  /// Cumulative decision counts (unaffected by the log bound).
+  std::size_t scale_up_count() const { return scale_ups_; }
+  std::size_t scale_down_count() const { return scale_downs_; }
+
+  /// Opt-in bounded action log for long cloudwatch runs (Fig 14/15): retains
+  /// at least the most recent `n` actions and compacts (amortized O(1)) when
+  /// the log reaches 2n, so memory stays flat. 0 (default) = unbounded.
+  /// Same idiom as Cluster::SetCompletionLogBound.
+  void SetActionLogBound(std::size_t n) {
+    action_bound_ = n;
+    if (n > 0) actions_.reserve(2 * n);
+  }
+  std::size_t action_log_bound() const { return action_bound_; }
+  /// Actions dropped by the bound so far.
+  std::uint64_t actions_dropped() const { return actions_dropped_; }
 
  private:
   void Evaluate();
+  /// Appends to the (possibly bounded) log, bumps the cumulative counters
+  /// and publishes on the scale channel.
+  void Record(const ScaleAction& action);
 
   microsvc::Cluster& cluster_;
   const ResourceMonitor& monitor_;
@@ -59,6 +76,10 @@ class AutoScaler {
   bool running_ = false;
   std::vector<SimTime> last_action_;
   std::vector<ScaleAction> actions_;
+  std::size_t action_bound_ = 0;
+  std::uint64_t actions_dropped_ = 0;
+  std::size_t scale_ups_ = 0;
+  std::size_t scale_downs_ = 0;
 };
 
 }  // namespace grunt::cloud

@@ -13,14 +13,14 @@ CorrelationDefense::CorrelationDefense(microsvc::Cluster& cluster,
       cfg_.flag_fraction <= 0 || cfg_.flag_fraction > 1) {
     throw std::invalid_argument("CorrelationDefense: bad config");
   }
-  cluster_.AddSubmitListener(
-      [this](microsvc::RequestTypeId type, microsvc::RequestClass,
-             std::uint64_t client, SimTime at) {
+  cluster_.telemetry().submit().Subscribe(
+      [this](const telemetry::RequestSubmit& e) {
         if (!running_) return;
-        ++bucket_counts_[{type, at / cfg_.bucket}];
-        sessions_[client].requests.emplace_back(type, at);
+        ++bucket_counts_[{e.type, e.at / cfg_.bucket}];
+        sessions_[e.client_id].requests.emplace_back(e.type, e.at);
       });
-  cluster_.AddCompletionListener([this](const microsvc::CompletionRecord& r) {
+  cluster_.telemetry().completion().Subscribe(
+      [this](const microsvc::CompletionRecord& r) {
     if (!running_) return;
     if (r.cls != microsvc::RequestClass::kLegit) return;
     if (r.outcome == microsvc::Outcome::kOk) return;

@@ -22,10 +22,9 @@ Ids::Ids(microsvc::Cluster& cluster, const ResourceMonitor* monitor,
     next_util_sample_.assign(cluster_.service_count(), 0);
     saturated_ticks_.assign(cluster_.service_count(), 0);
   }
-  cluster_.AddSubmitListener(
-      [this](microsvc::RequestTypeId type, microsvc::RequestClass cls,
-             std::uint64_t client_id, SimTime at) {
-        if (running_) OnSubmit(type, cls, client_id, at);
+  cluster_.telemetry().submit().Subscribe(
+      [this](const telemetry::RequestSubmit& e) {
+        if (running_) OnSubmit(e.type, e.cls, e.client_id, e.at);
       });
 }
 

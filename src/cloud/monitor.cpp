@@ -11,17 +11,31 @@ ResourceMonitor::ResourceMonitor(microsvc::Cluster& cluster, Config cfg)
   cpu_util_.resize(n);
   queue_len_.resize(n);
   replicas_.resize(n);
+  // Resolve the bus-fed gauges once; the Cluster registered them at
+  // construction. Sampling reads exclusively through these handles.
+  auto& reg = cluster_.telemetry().metrics();
+  gauges_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string prefix = "svc." + std::to_string(i) + ".";
+    gauges_.push_back(ServiceGauges{
+        reg.Gauge(prefix + "busy_core_us"),
+        reg.Gauge(prefix + "queue_len"),
+        reg.Gauge(prefix + "replicas"),
+        reg.Gauge(prefix + "cores"),
+    });
+  }
+  gateway_bytes_g_ = reg.Gauge("gateway.bytes");
 }
 
 void ResourceMonitor::Start() {
   if (running_) return;
   running_ = true;
   // Initialize baselines so the first window is measured, not cumulative.
+  const auto& reg = cluster_.telemetry().metrics();
   for (std::size_t i = 0; i < cluster_.service_count(); ++i) {
-    prev_busy_[i] =
-        cluster_.service(static_cast<microsvc::ServiceId>(i)).CumBusyCoreTime();
+    prev_busy_[i] = reg.ReadGauge(gauges_[i].busy_core_us);
   }
-  prev_gateway_bytes_ = cluster_.gateway_bytes();
+  prev_gateway_bytes_ = reg.ReadGauge(gateway_bytes_g_);
   timer_ = cluster_.simulation().Every(cfg_.granularity,
                                        sim::EventClass::kTimer,
                                        [this] { Sample(); });
@@ -33,27 +47,28 @@ void ResourceMonitor::Stop() {
 }
 
 void ResourceMonitor::Sample() {
+  // Every value read here is a bus-fed gauge. The arithmetic is identical
+  // to the old direct polling: the gauges expose exact integer counts, and
+  // doubles subtract integers below 2^53 exactly.
   const SimTime now = cluster_.simulation().Now();
+  const auto& reg = cluster_.telemetry().metrics();
   for (std::size_t i = 0; i < cluster_.service_count(); ++i) {
-    auto& svc = cluster_.service(static_cast<microsvc::ServiceId>(i));
-    const std::int64_t busy = svc.CumBusyCoreTime();
+    const ServiceGauges& g = gauges_[i];
+    const double busy = reg.ReadGauge(g.busy_core_us);
     const double window_core_us =
-        static_cast<double>(svc.cores()) *
-        static_cast<double>(cfg_.granularity);
+        reg.ReadGauge(g.cores) * static_cast<double>(cfg_.granularity);
     const double util =
         window_core_us <= 0
             ? 0.0
-            : std::clamp(static_cast<double>(busy - prev_busy_[i]) /
-                             window_core_us,
-                         0.0, 1.0);
+            : std::clamp((busy - prev_busy_[i]) / window_core_us, 0.0, 1.0);
     prev_busy_[i] = busy;
     cpu_util_[i].Add(now, util);
-    queue_len_[i].Add(now, static_cast<double>(svc.queue_length()));
-    replicas_[i].Add(now, static_cast<double>(svc.replicas()));
+    queue_len_[i].Add(now, reg.ReadGauge(g.queue_len));
+    replicas_[i].Add(now, reg.ReadGauge(g.replicas));
   }
-  const std::int64_t bytes = cluster_.gateway_bytes();
-  const double mbps = static_cast<double>(bytes - prev_gateway_bytes_) /
-                      (1e6 * ToSeconds(cfg_.granularity));
+  const double bytes = reg.ReadGauge(gateway_bytes_g_);
+  const double mbps =
+      (bytes - prev_gateway_bytes_) / (1e6 * ToSeconds(cfg_.granularity));
   prev_gateway_bytes_ = bytes;
   gateway_mbps_.Add(now, mbps);
 }
@@ -75,7 +90,8 @@ microsvc::ServiceId ResourceMonitor::HottestService(SimTime from,
 ResponseTimeMonitor::ResponseTimeMonitor(microsvc::Cluster& cluster,
                                          Config cfg)
     : cluster_(cluster), cfg_(std::move(cfg)) {
-  cluster_.AddCompletionListener([this](const microsvc::CompletionRecord& r) {
+  completion_sub_ = cluster_.telemetry().completion().Subscribe(
+      [this](const microsvc::CompletionRecord& r) {
     if (!running_) return;
     if (r.cls != microsvc::RequestClass::kLegit) return;
     ++legit_outcomes_[static_cast<std::size_t>(r.outcome)];

@@ -59,8 +59,18 @@ class ResourceMonitor {
   Config cfg_;
   sim::EventHandle timer_;
   bool running_ = false;
-  std::vector<std::int64_t> prev_busy_;
-  std::int64_t prev_gateway_bytes_ = 0;
+  /// Interned handles into the cluster's MetricsRegistry: the monitor reads
+  /// the bus-fed gauges the Cluster registered, never Service internals.
+  struct ServiceGauges {
+    telemetry::MetricsRegistry::Id busy_core_us;
+    telemetry::MetricsRegistry::Id queue_len;
+    telemetry::MetricsRegistry::Id replicas;
+    telemetry::MetricsRegistry::Id cores;
+  };
+  std::vector<ServiceGauges> gauges_;
+  telemetry::MetricsRegistry::Id gateway_bytes_g_;
+  std::vector<double> prev_busy_;
+  double prev_gateway_bytes_ = 0;
   std::vector<TimeSeries> cpu_util_;
   std::vector<TimeSeries> queue_len_;
   std::vector<TimeSeries> replicas_;
@@ -116,6 +126,7 @@ class ResponseTimeMonitor {
   Config cfg_;
   sim::EventHandle timer_;
   bool running_ = false;
+  telemetry::SubscriptionId completion_sub_ = 0;
   Samples window_;  ///< successful legit RTs in the current window
   std::uint64_t window_errors_ = 0;  ///< failed legit completions in window
   std::array<std::uint64_t, microsvc::kOutcomeCount> legit_outcomes_{};

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/engine_metrics.h"
+
 namespace grunt::microsvc {
 
 // The lifecycle below is the pooled rewrite of the original shared_ptr +
@@ -31,8 +33,9 @@ Cluster::Cluster(sim::Simulation& sim, const Application& app,
   for (std::size_t i = 0; i < app.service_count(); ++i) {
     services_.push_back(std::make_unique<Service>(
         sim_, app.service(static_cast<ServiceId>(i)),
-        static_cast<ServiceId>(i)));
+        static_cast<ServiceId>(i), &bus_));
   }
+  RegisterGauges();
   // Residual-cost table for the deadline shedder: suffix sums of the mean
   // hop demands, plus the messages still to travel — from hop h's arrival, a
   // chain of n hops has (n-1-h) calls down, (n-h) replies up (incl. the
@@ -50,6 +53,42 @@ Cluster::Cluster(sim::Simulation& sim, const Application& app,
           static_cast<double>(2 * hops.size() - h - 1);
     }
   }
+}
+
+void Cluster::RegisterGauges() {
+  // Callback gauges cost the instrumented code nothing: the registry reads
+  // them only when a monitor samples or a tool snapshots. These are the
+  // values the polling observers (CloudWatch monitor, IDS saturation rule)
+  // used to pull out of Cluster/Service directly.
+  auto& m = bus_.metrics();
+  m.Gauge("gateway.bytes",
+          [this] { return static_cast<double>(gateway_bytes_); });
+  m.Gauge("cluster.submitted",
+          [this] { return static_cast<double>(next_request_id_); });
+  m.Gauge("cluster.completed",
+          [this] { return static_cast<double>(completed_count_); });
+  for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+    m.Gauge(std::string("cluster.outcome.") +
+                ToString(static_cast<Outcome>(o)),
+            [this, o] { return static_cast<double>(outcome_counts_[o]); });
+  }
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    Service* svc = services_[i].get();
+    const std::string prefix = "svc." + std::to_string(i) + ".";
+    m.Gauge(prefix + "busy_core_us",
+            [svc] { return static_cast<double>(svc->CumBusyCoreTime()); });
+    m.Gauge(prefix + "queue_len",
+            [svc] { return static_cast<double>(svc->queue_length()); });
+    m.Gauge(prefix + "replicas",
+            [svc] { return static_cast<double>(svc->replicas()); });
+    m.Gauge(prefix + "cores",
+            [svc] { return static_cast<double>(svc->cores()); });
+    m.Gauge(prefix + "rejected_arrivals",
+            [svc] { return static_cast<double>(svc->rejected_arrivals()); });
+    m.Gauge(prefix + "deadline_sheds",
+            [svc] { return static_cast<double>(svc->deadline_sheds()); });
+  }
+  telemetry::RegisterEngineGauges(m, sim_);
 }
 
 Cluster::LifecycleStats Cluster::lifecycle_stats() const {
@@ -110,8 +149,9 @@ std::uint64_t Cluster::Submit(RequestTypeId type, RequestClass cls, bool heavy,
   req.traces.assign(spec.hops.size(), HopTrace{});
 
   gateway_bytes_ += spec.request_bytes;
-  for (const auto& listener : submit_listeners_) {
-    listener(type, cls, client_id, sim_.Now());
+  if (bus_.submit().has_subscribers()) {
+    bus_.submit().Publish(
+        telemetry::RequestSubmit{type, cls, client_id, sim_.Now()});
   }
 
   const std::uint64_t rid = req.id;
@@ -410,7 +450,7 @@ void Cluster::AfterPreCpu(sim::PoolHandle hop_h) {
 }
 
 void Cluster::EmitSpan(const HopCtx& ctx, const ActiveRequest& req) {
-  if (span_sink_ == nullptr) return;
+  if (!bus_.span().has_subscribers()) return;
   const auto& spec = app_.request_type(req.type);
   SpanEvent span;
   span.request_id = req.id;
@@ -421,7 +461,7 @@ void Cluster::EmitSpan(const HopCtx& ctx, const ActiveRequest& req) {
   span.arrived = req.traces[ctx.hop].arrived;
   span.slot_granted = req.traces[ctx.hop].slot_granted;
   span.finished = req.traces[ctx.hop].finished;
-  span_sink_->OnSpan(span);
+  bus_.span().Publish(span);
 }
 
 void Cluster::FinishHop(sim::PoolHandle hop_h) {
@@ -485,7 +525,9 @@ void Cluster::CompleteWith(sim::PoolHandle req_h, Outcome o) {
                        completions_.end() -
                            static_cast<std::ptrdiff_t>(completion_bound_));
   }
-  for (const auto& listener : completion_listeners_) listener(rec);
+  // Bus subscribers first (in registration order), the per-request callback
+  // last — the ordering contract the old listener list established.
+  bus_.completion().Publish(rec);
   if (req.on_complete) req.on_complete(rec);
 }
 

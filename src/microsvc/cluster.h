@@ -9,28 +9,18 @@
 
 #include "microsvc/application.h"
 #include "microsvc/service.h"
-#include "microsvc/span_sink.h"
 #include "microsvc/types.h"
 #include "sim/simulation.h"
 #include "sim/slab_pool.h"
+#include "telemetry/bus.h"
 #include "util/rng.h"
 
 namespace grunt::microsvc {
 
-/// A finished end-to-end request as observed at the gateway. Every submitted
-/// request produces exactly one record, whatever its outcome.
-struct CompletionRecord {
-  std::uint64_t request_id = 0;
-  RequestTypeId type = kInvalidRequestType;
-  RequestClass cls = RequestClass::kLegit;
-  bool heavy = false;
-  std::uint64_t client_id = 0;
-  SimTime start = 0;  ///< submitted by the client
-  SimTime end = 0;    ///< response (or failure) received by the client
-  Outcome outcome = Outcome::kOk;
-  /// Total retry attempts spent across every hop of the chain.
-  std::int32_t retries = 0;
-};
+/// Canonical observation records live in the telemetry plane; these aliases
+/// keep the historical microsvc:: spellings working.
+using CompletionRecord = telemetry::CompletionRecord;
+using SpanEvent = telemetry::SpanEvent;
 
 /// Instantiates an Application into a running simulation and drives the
 /// request lifecycle across services.
@@ -135,22 +125,13 @@ class Cluster {
   void AddExtraNetLatency(SimDuration delta) { extra_net_latency_ += delta; }
   SimDuration extra_net_latency() const { return extra_net_latency_; }
 
-  /// Optional tracing hook (admin-side ground truth; not visible to attacks).
-  void set_span_sink(SpanSink* sink) { span_sink_ = sink; }
-
-  /// Observer of every submitted request (gateway-side: used by the IDS).
-  using SubmitListener = std::function<void(
-      RequestTypeId type, RequestClass cls, std::uint64_t client_id,
-      SimTime at)>;
-  void AddSubmitListener(SubmitListener listener) {
-    submit_listeners_.push_back(std::move(listener));
-  }
-
-  /// Observer of every completion (used by monitors; fires before the
-  /// per-request callback).
-  void AddCompletionListener(CompletionCallback listener) {
-    completion_listeners_.push_back(std::move(listener));
-  }
+  /// The cluster's observation plane. Everything that used to be a bolt-on
+  /// listener (span sink, submit/completion listeners, monitor polling) is a
+  /// subscription on these channels or a gauge in the registry. Dispatch is
+  /// synchronous in registration order; completion subscribers fire before
+  /// the per-request on_complete callback.
+  telemetry::TelemetryBus& telemetry() { return bus_; }
+  const telemetry::TelemetryBus& telemetry() const { return bus_; }
 
   /// Pool occupancy of the request state machine (bench/diagnostic surface).
   struct LifecycleStats {
@@ -269,10 +250,15 @@ class Cluster {
     double messages = 0;
   };
 
+  /// Registers the per-service, gateway and engine gauges (ctor helper).
+  void RegisterGauges();
+
   sim::Simulation& sim_;
   const Application& app_;
   RngStream demand_rng_;
   RngStream retry_rng_;
+  /// Declared before services_: each Service holds a pointer to the bus.
+  telemetry::TelemetryBus bus_;
   std::vector<std::unique_ptr<Service>> services_;
   std::vector<std::vector<ResidualCost>> residual_costs_;  ///< [type][hop]
   sim::SlabPool<ActiveRequest> requests_;
@@ -286,9 +272,6 @@ class Cluster {
   std::uint64_t completed_count_ = 0;
   std::array<std::uint64_t, kOutcomeCount> outcome_counts_{};
   SimDuration extra_net_latency_ = 0;
-  SpanSink* span_sink_ = nullptr;
-  std::vector<SubmitListener> submit_listeners_;
-  std::vector<CompletionCallback> completion_listeners_;
 };
 
 }  // namespace grunt::microsvc

@@ -7,9 +7,21 @@
 
 namespace grunt::microsvc {
 
-Service::Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id)
-    : sim_(sim), spec_(std::move(spec)), id_(id),
+Service::Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id,
+                 telemetry::TelemetryBus* bus)
+    : sim_(sim), spec_(std::move(spec)), id_(id), bus_(bus),
       replicas_(spec_.initial_replicas) {}
+
+void Service::PublishQueueEvent(telemetry::QueueEvent::Kind kind) {
+  if (bus_ == nullptr || !bus_->queue_depth().has_subscribers()) return;
+  telemetry::QueueEvent e;
+  e.service = id_;
+  e.kind = kind;
+  e.at = sim_.Now();
+  e.slots_in_use = slots_in_use_;
+  e.waiting = slots_waiting();
+  bus_->queue_depth().Publish(e);
+}
 
 bool Service::AcquireSlot(sim::InplaceFunction on_granted) {
   if (slots_in_use_ < threads()) {
@@ -21,9 +33,11 @@ bool Service::AcquireSlot(sim::InplaceFunction on_granted) {
   if (spec_.max_queue_per_replica > 0 &&
       slots_waiting() >= spec_.max_queue_per_replica * replicas_) {
     ++rejected_arrivals_;
+    PublishQueueEvent(telemetry::QueueEvent::Kind::kRejected);
     return false;
   }
   slot_waiters_.push_back(std::move(on_granted));
+  PublishQueueEvent(telemetry::QueueEvent::Kind::kEnqueued);
   return true;
 }
 
@@ -164,16 +178,30 @@ void Service::ReportCallerOutcome(ServiceId caller, bool ok) {
   const auto idx = static_cast<std::size_t>(caller + 1);
   if (idx >= breakers_.size()) breakers_.resize(idx + 1);
   BreakerState& st = breakers_[idx];
+  // "Open" as callers experience it: a passed cooldown already admits the
+  // half-open trial, so a success then is a close and a failure a re-open.
+  const bool was_open = sim_.Now() < st.open_until;
   if (ok) {
     st.consecutive_failures = 0;
     st.open_until = 0;
-    return;
+  } else {
+    ++st.consecutive_failures;
+    if (st.consecutive_failures >= spec_.breaker_threshold) {
+      // Saturate so a failed half-open trial re-opens immediately.
+      st.consecutive_failures = spec_.breaker_threshold;
+      st.open_until = sim_.Now() + spec_.breaker_cooldown;
+    }
   }
-  ++st.consecutive_failures;
-  if (st.consecutive_failures >= spec_.breaker_threshold) {
-    // Saturate so a failed half-open trial re-opens immediately.
-    st.consecutive_failures = spec_.breaker_threshold;
-    st.open_until = sim_.Now() + spec_.breaker_cooldown;
+  const bool is_open = sim_.Now() < st.open_until;
+  if (is_open != was_open && bus_ != nullptr &&
+      bus_->breaker().has_subscribers()) {
+    telemetry::BreakerTransition t;
+    t.service = id_;
+    t.caller = caller;
+    t.at = sim_.Now();
+    t.open = is_open;
+    t.consecutive_failures = st.consecutive_failures;
+    bus_->breaker().Publish(t);
   }
 }
 

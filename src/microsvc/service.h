@@ -8,6 +8,7 @@
 #include "microsvc/types.h"
 #include "sim/ring_buffer.h"
 #include "sim/simulation.h"
+#include "telemetry/bus.h"
 
 namespace grunt::microsvc {
 
@@ -41,7 +42,10 @@ namespace grunt::microsvc {
 ///    DeadlineShedSpec on arrival and counts sheds here.
 class Service {
  public:
-  Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id);
+  /// `bus` (may be null: standalone unit-test construction) receives
+  /// queue-depth and breaker-transition events; the Cluster passes its own.
+  Service(sim::Simulation& sim, ServiceSpec spec, ServiceId id,
+          telemetry::TelemetryBus* bus = nullptr);
 
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
@@ -181,9 +185,12 @@ class Service {
   void FinishBurst(std::uint64_t bid);
   void AdmitWaiters();
 
+  void PublishQueueEvent(telemetry::QueueEvent::Kind kind);
+
   sim::Simulation& sim_;
   ServiceSpec spec_;
   ServiceId id_;
+  telemetry::TelemetryBus* bus_;
   std::int32_t replicas_;
   double demand_factor_ = 1.0;
 

@@ -5,7 +5,23 @@
 
 namespace grunt::trace {
 
-void Tracer::OnSpan(const microsvc::SpanEvent& span) {
+void Tracer::Attach(telemetry::TelemetryBus& bus) {
+  if (bus_ != nullptr) {
+    throw std::logic_error("Tracer::Attach: already attached");
+  }
+  bus_ = &bus;
+  sub_ = bus.span().Subscribe(
+      [this](const telemetry::SpanEvent& span) { OnSpan(span); });
+}
+
+void Tracer::Detach() {
+  if (bus_ == nullptr) return;
+  bus_->span().Unsubscribe(sub_);
+  bus_ = nullptr;
+  sub_ = 0;
+}
+
+void Tracer::OnSpan(const telemetry::SpanEvent& span) {
   RequestTrace& t = traces_[span.request_id];
   if (t.hops.empty()) {
     t.request_id = span.request_id;

@@ -4,8 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "microsvc/span_sink.h"
 #include "microsvc/types.h"
+#include "telemetry/bus.h"
 
 namespace grunt::trace {
 
@@ -39,11 +39,19 @@ struct RequestTrace {
   }
 };
 
-/// Collects spans from the cluster and groups them per request. Admin-side
-/// only: the attack library never touches this (blackbox boundary).
-class Tracer : public microsvc::SpanSink {
+/// Collects spans from the cluster's telemetry span channel and groups them
+/// per request. Admin-side only: the attack library never touches this
+/// (blackbox boundary).
+class Tracer {
  public:
-  void OnSpan(const microsvc::SpanEvent& span) override;
+  /// Subscribes to `bus`'s span channel (usually cluster.telemetry()).
+  /// Call at most once per bus; the bus must not outlive this Tracer
+  /// unless Detach() is called first.
+  void Attach(telemetry::TelemetryBus& bus);
+  /// Undoes Attach (no-op when not attached).
+  void Detach();
+
+  void OnSpan(const telemetry::SpanEvent& span);
 
   std::size_t span_count() const { return span_count_; }
 
@@ -60,6 +68,8 @@ class Tracer : public microsvc::SpanSink {
   void Clear();
 
  private:
+  telemetry::TelemetryBus* bus_ = nullptr;
+  telemetry::SubscriptionId sub_ = 0;
   std::unordered_map<std::uint64_t, RequestTrace> traces_;
   std::size_t span_count_ = 0;
 };

@@ -93,19 +93,19 @@ TEST(Cluster, GatewayBytesCountRequestAndResponse) {
   EXPECT_EQ(cluster.gateway_bytes(), spec.request_bytes + spec.response_bytes);
 }
 
-TEST(Cluster, ListenersObserveSubmitAndCompletion) {
+TEST(Cluster, BusObservesSubmitAndCompletion) {
   sim::Simulation sim;
   const Application app = SingleChainApp();
   Cluster cluster(sim, app, 1);
   int submits = 0, completions = 0;
-  cluster.AddSubmitListener([&](RequestTypeId t, RequestClass c,
-                                std::uint64_t client, SimTime) {
-    ++submits;
-    EXPECT_EQ(t, 0);
-    EXPECT_EQ(c, RequestClass::kProbe);
-    EXPECT_EQ(client, 5u);
-  });
-  cluster.AddCompletionListener(
+  cluster.telemetry().submit().Subscribe(
+      [&](const telemetry::RequestSubmit& e) {
+        ++submits;
+        EXPECT_EQ(e.type, 0);
+        EXPECT_EQ(e.cls, RequestClass::kProbe);
+        EXPECT_EQ(e.client_id, 5u);
+      });
+  cluster.telemetry().completion().Subscribe(
       [&](const CompletionRecord&) { ++completions; });
   cluster.Submit(0, RequestClass::kProbe, false, 5);
   sim.RunAll();

@@ -306,7 +306,7 @@ TEST(BoundedCompletions, RetainsNewestSuffixAndCountsDrops) {
   Cluster cluster(sim, app, 1);
   cluster.SetCompletionLogBound(10);
   std::uint64_t listener_seen = 0;
-  cluster.AddCompletionListener(
+  cluster.telemetry().completion().Subscribe(
       [&](const CompletionRecord&) { ++listener_seen; });
   for (int i = 0; i < 35; ++i) {
     sim.At(Ms(20) * i, [&cluster] {

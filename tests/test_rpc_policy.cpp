@@ -363,7 +363,7 @@ TEST(RpcPolicy, EveryRequestReachesExactlyOneTerminalOutcome) {
   sim::Simulation sim;
   Cluster cluster(sim, app, 42);
   std::vector<std::uint64_t> completed_ids;
-  cluster.AddCompletionListener([&](const CompletionRecord& r) {
+  cluster.telemetry().completion().Subscribe([&](const CompletionRecord& r) {
     completed_ids.push_back(r.request_id);
   });
   for (int i = 0; i < 200; ++i) {

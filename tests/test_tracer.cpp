@@ -15,7 +15,7 @@ TEST(Tracer, AssemblesSpansIntoCompleteTraces) {
   const auto app = SingleChainApp();
   microsvc::Cluster cluster(sim, app, 1);
   Tracer tracer;
-  cluster.set_span_sink(&tracer);
+  tracer.Attach(cluster.telemetry());
   std::uint64_t rid = cluster.Submit(0, microsvc::RequestClass::kLegit,
                                      false, 1);
   sim.RunAll();
@@ -41,7 +41,7 @@ TEST(Tracer, ArrivalRateCountsWindowedSpans) {
   const auto app = SingleChainApp();
   microsvc::Cluster cluster(sim, app, 1);
   Tracer tracer;
-  cluster.set_span_sink(&tracer);
+  tracer.Attach(cluster.telemetry());
   for (int i = 0; i < 10; ++i) {
     sim.At(Sec(i), [&] {
       cluster.Submit(0, microsvc::RequestClass::kLegit, false, 1);
@@ -109,7 +109,7 @@ TEST(Tracer, QueueWaitVisibleInSpansUnderContention) {
   const auto app = SingleChainApp();
   microsvc::Cluster cluster(sim, app, 1);
   Tracer tracer;
-  cluster.set_span_sink(&tracer);
+  tracer.Attach(cluster.telemetry());
   // 12 simultaneous requests vs s0's 8 slots: the last ones wait for slots.
   std::vector<std::uint64_t> rids;
   for (int i = 0; i < 12; ++i) {

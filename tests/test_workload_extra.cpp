@@ -107,9 +107,8 @@ TEST(OpenLoopSource, ClientIdsRotateThroughConfiguredPool) {
   cfg.client_id_base = 5'000;
   cfg.client_id_count = 10;
   std::map<std::uint64_t, int> seen;
-  cluster.AddSubmitListener([&](microsvc::RequestTypeId,
-                                microsvc::RequestClass, std::uint64_t c,
-                                SimTime) { ++seen[c]; });
+  cluster.telemetry().submit().Subscribe(
+      [&](const telemetry::RequestSubmit& e) { ++seen[e.client_id]; });
   OpenLoopSource src(cluster, cfg, 14);
   src.Start();
   sim.RunUntil(Sec(5));
