@@ -144,6 +144,41 @@ BENCHMARK(BM_TimerChurnWheel);
 void BM_TimerChurnHeap(benchmark::State& state) { TimerChurn(state, false); }
 BENCHMARK(BM_TimerChurnHeap);
 
+/// The Cluster dispatch profile: bursts of zero-delay events (grant-slot /
+/// resolve-call hand-offs) scheduled and fired at one timestamp, with a
+/// quarter cancelled before they run. With the lane this is ring pushes,
+/// generation-bump cancels and front pops; on the heap every same-time
+/// entry sifts in and tournaments out.
+void ImmediateChurn(benchmark::State& state, bool use_lane) {
+  // One long-lived engine, as in TimerChurn: steady-state rounds, not cold
+  // starts.
+  sim::Simulation sim;
+  sim.SetImmediateLaneEnabled(use_lane);
+  int sink = 0;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(1000);
+  for (auto _ : state) {
+    handles.clear();
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.After(0, [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < 1000; i += 4) handles[i].Cancel();
+    sim.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_ImmediateChurnLane(benchmark::State& state) {
+  ImmediateChurn(state, true);
+}
+BENCHMARK(BM_ImmediateChurnLane);
+
+void BM_ImmediateChurnHeap(benchmark::State& state) {
+  ImmediateChurn(state, false);
+}
+BENCHMARK(BM_ImmediateChurnHeap);
+
 void BM_SimulatedRequestThroughput(benchmark::State& state) {
   const auto app = bench_fixtures::SingleChainApp();
   for (auto _ : state) {
@@ -281,6 +316,37 @@ double MeasureTimerChurnPerSec(bool use_wheel,
   return static_cast<double>(events) / elapsed;
 }
 
+/// Events/sec of the immediate-lane churn loop (see ImmediateChurn): 1000
+/// zero-delay events per round, every 4th cancelled before the run drains.
+/// Counts scheduled events so the lane/heap numbers are directly
+/// comparable. `stats_out` (optional) receives the engine counters.
+double MeasureImmediateChurnPerSec(bool use_lane,
+                                   sim::Simulation::EngineStats* stats_out =
+                                       nullptr) {
+  constexpr int kBatch = 1000;
+  sim::Simulation sim;
+  sim.SetImmediateLaneEnabled(use_lane);
+  int sink = 0;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(kBatch);
+  std::uint64_t events = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    handles.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(sim.After(0, [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < kBatch; i += 4) handles[i].Cancel();
+    sim.RunAll();
+    benchmark::DoNotOptimize(sink);
+    events += kBatch;
+    elapsed = SecondsSince(t0);
+  } while (elapsed < 0.25);
+  if (stats_out != nullptr) *stats_out = sim.stats();
+  return static_cast<double>(events) / elapsed;
+}
+
 /// One independent simulated campaign; returns an FNV-1a hash of its result
 /// stream so runs at different thread counts can be compared bit-for-bit.
 std::uint64_t MiniCampaign(std::size_t job) {
@@ -341,6 +407,11 @@ void WriteEngineJson() {
   const double churn_wheel =
       MeasureTimerChurnPerSec(/*use_wheel=*/true, &wheel_stats);
   const double churn_heap = MeasureTimerChurnPerSec(/*use_wheel=*/false);
+  std::fprintf(stderr, "measuring immediate churn (lane vs heap)...\n");
+  sim::Simulation::EngineStats lane_stats;
+  const double imm_lane =
+      MeasureImmediateChurnPerSec(/*use_lane=*/true, &lane_stats);
+  const double imm_heap = MeasureImmediateChurnPerSec(/*use_lane=*/false);
 
   constexpr std::size_t kJobs = 8;
   const unsigned hw_threads = std::thread::hardware_concurrency();
@@ -359,7 +430,7 @@ void WriteEngineJson() {
   }
 
   json::Object root;
-  root.emplace_back("schema", 2);
+  root.emplace_back("schema", 3);
   {
     json::Object o;
     o.emplace_back("schedule_fire_events_per_sec", Round0(inline_eps));
@@ -373,6 +444,14 @@ void WriteEngineJson() {
     // subobject carries scheduled/cancelled_in_bucket/cascades/to_heap).
     o.emplace_back("timer_churn_wheel_counters",
                    telemetry::EngineStatsJson(wheel_stats));
+    o.emplace_back("immediate_churn_lane_events_per_sec", Round0(imm_lane));
+    o.emplace_back("immediate_churn_heap_events_per_sec", Round0(imm_heap));
+    o.emplace_back("immediate_churn_lane_speedup",
+                   Round2(imm_heap > 0 ? imm_lane / imm_heap : 0.0));
+    // Lane counters from the lane churn run (scheduled/cancelled/occupancy),
+    // through the immediate-specific slice of the telemetry exporter.
+    o.emplace_back("immediate_churn_lane_counters",
+                   telemetry::ImmediateStatsJson(lane_stats));
     root.emplace_back("engine", json::Value(std::move(o)));
   }
   {

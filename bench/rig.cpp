@@ -15,18 +15,75 @@ namespace grunt::bench {
 
 namespace {
 
-/// Per-run observability artifact: when GRUNT_METRICS_JSON names a path, the
-/// campaign functions dump the cluster's full telemetry-registry snapshot
-/// there before tearing the rig down (one file per process; campaign loops
-/// overwrite it, so the artifact holds the last campaign of the run).
-void MaybeExportMetrics(microsvc::Cluster& cluster) {
-  const char* path = std::getenv("GRUNT_METRICS_JSON");
-  if (path == nullptr || path[0] == '\0') return;
+/// Per-campaign observability artifact: when GRUNT_METRICS_JSON names a
+/// path, the campaign functions dump the cluster's full telemetry-registry
+/// snapshot before tearing the rig down, with the campaign `label`
+/// (sanitized) inserted before the extension — "metrics.json" under the
+/// "EC2-7K" setting becomes "metrics.EC2-7K.json" — so multi-campaign
+/// benches keep one artifact per campaign instead of overwriting a single
+/// file with whichever campaign ran last.
+void MaybeExportMetrics(microsvc::Cluster& cluster,
+                        const std::string& label) {
+  const char* env = std::getenv("GRUNT_METRICS_JSON");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string clean;
+  clean.reserve(label.size());
+  for (const char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    clean.push_back(ok ? c : '_');
+  }
+  std::string path = env;
+  if (!clean.empty()) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    const bool has_ext =
+        dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash);
+    path.insert(has_ext ? dot : path.size(), "." + clean);
+  }
   try {
     json::WriteFile(path, cluster.telemetry().metrics().Snapshot());
   } catch (const json::Error& e) {
     std::fprintf(stderr, "GRUNT_METRICS_JSON: %s\n", e.what());
   }
+}
+
+/// Env-gated engine observability: when GRUNT_ENGINE_STATS_TICK_MS parses to
+/// a positive integer N, attaches a ticker that publishes the engine's
+/// cumulative EngineStats on the cluster's engine_stats channel every N
+/// sim-milliseconds, plus a compact stderr subscriber so the stream is
+/// visible without any extra wiring. Returns null when the variable is
+/// unset, empty, or non-positive.
+std::unique_ptr<telemetry::EngineStatsTicker> MaybeStartEngineStatsTicker(
+    sim::Simulation& sim, microsvc::Cluster& cluster) {
+  const char* env = std::getenv("GRUNT_ENGINE_STATS_TICK_MS");
+  if (env == nullptr || env[0] == '\0') return nullptr;
+  const long ms = std::strtol(env, nullptr, 10);
+  if (ms <= 0) return nullptr;
+  auto& bus = cluster.telemetry();
+  bus.engine_stats().Subscribe([](const telemetry::EngineStatsEvent& e) {
+    const auto& s = e.stats;
+    std::fprintf(
+        stderr,
+        "[engine t=%.3fs] scheduled=%llu inline=%llu wheel=%llu/%zu "
+        "lane=%llu/%zu cancelled=%llu\n",
+        ToSeconds(e.at),
+        static_cast<unsigned long long>(s.events_scheduled),
+        static_cast<unsigned long long>(s.inline_callbacks),
+        static_cast<unsigned long long>(s.wheel_scheduled),
+        s.wheel_occupancy,
+        static_cast<unsigned long long>(s.immediate_scheduled),
+        s.immediate_occupancy,
+        static_cast<unsigned long long>(s.cancelled_popped +
+                                        s.cancelled_purged +
+                                        s.wheel_cancelled +
+                                        s.immediate_cancelled));
+  });
+  auto ticker = std::make_unique<telemetry::EngineStatsTicker>(sim, bus);
+  ticker->Start(Ms(ms));
+  return ticker;
 }
 
 }  // namespace
@@ -69,6 +126,7 @@ SocialNetworkRig::SocialNetworkRig(const CloudSetting& setting,
   scaler_->Start();
   ids_->Start();
   client_ = std::make_unique<attack::SimTargetClient>(*cluster_);
+  stats_ticker_ = MaybeStartEngineStatsTicker(sim_, *cluster_);
 }
 
 void SocialNetworkRig::RunUntil(SimTime until) { sim_.RunUntil(until); }
@@ -140,6 +198,7 @@ ScenarioRig::ScenarioRig(const scenario::ScenarioSpec& spec,
   if (scaler_) scaler_->Start();
   if (ids_) ids_->Start();
   client_ = std::make_unique<attack::SimTargetClient>(*cluster_);
+  stats_ticker_ = MaybeStartEngineStatsTicker(sim_, *cluster_);
 }
 
 void ScenarioRig::RunUntil(SimTime until) { sim_.RunUntil(until); }
@@ -244,7 +303,7 @@ CampaignResult RunScenarioCampaign(const scenario::ScenarioSpec& spec,
   if (rig.ids() != nullptr) {
     result.attributed_alerts = rig.ids()->attributed_attack_alerts();
   }
-  MaybeExportMetrics(rig.cluster());
+  MaybeExportMetrics(rig.cluster(), spec.name);
   return result;
 }
 
@@ -409,7 +468,7 @@ CampaignResult RunSocialNetworkCampaign(const CloudSetting& setting,
     }
   }
   result.attributed_alerts = rig.ids().attributed_attack_alerts();
-  MaybeExportMetrics(rig.cluster());
+  MaybeExportMetrics(rig.cluster(), setting.name);
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "microsvc/cluster.h"
 #include "scenario/registry.h"
 #include "sim/simulation.h"
+#include "telemetry/engine_metrics.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workload/workload.h"
@@ -76,6 +77,9 @@ class SocialNetworkRig {
   std::unique_ptr<cloud::AutoScaler> scaler_;
   std::unique_ptr<cloud::Ids> ids_;
   std::unique_ptr<attack::SimTargetClient> client_;
+  /// Non-null when GRUNT_ENGINE_STATS_TICK_MS enables the engine-stats
+  /// stream (see MaybeStartEngineStatsTicker in rig.cpp).
+  std::unique_ptr<telemetry::EngineStatsTicker> stats_ticker_;
 };
 
 /// Windowed measurements around one attack campaign.
@@ -155,6 +159,9 @@ class ScenarioRig {
   std::unique_ptr<cloud::AutoScaler> scaler_;
   std::unique_ptr<cloud::Ids> ids_;
   std::unique_ptr<attack::SimTargetClient> client_;
+  /// Non-null when GRUNT_ENGINE_STATS_TICK_MS enables the engine-stats
+  /// stream (see MaybeStartEngineStatsTicker in rig.cpp).
+  std::unique_ptr<telemetry::EngineStatsTicker> stats_ticker_;
 };
 
 /// Full Grunt campaign against an arbitrary scenario: baseline window,

@@ -90,6 +90,11 @@ microsvc::ServiceId ResourceMonitor::HottestService(SimTime from,
 ResponseTimeMonitor::ResponseTimeMonitor(microsvc::Cluster& cluster,
                                          Config cfg)
     : cluster_(cluster), cfg_(std::move(cfg)) {
+  // Log-spaced millisecond buckets covering sub-ms RPCs up to multi-second
+  // tail stalls; intern-by-name makes a second monitor share the series.
+  rt_hist_ = cluster_.telemetry().metrics().Histogram(
+      cfg_.name + ".legit_ms",
+      {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
   completion_sub_ = cluster_.telemetry().completion().Subscribe(
       [this](const microsvc::CompletionRecord& r) {
     if (!running_) return;
@@ -101,6 +106,7 @@ ResponseTimeMonitor::ResponseTimeMonitor(microsvc::Cluster& cluster,
     }
     const double rt_ms = ToMillis(r.end - r.start);
     window_.Add(rt_ms);
+    cluster_.telemetry().metrics().Observe(rt_hist_, rt_ms);
     legit_all_.emplace_back(r.end, rt_ms);
   });
 }

@@ -127,6 +127,11 @@ class ResponseTimeMonitor {
   sim::EventHandle timer_;
   bool running_ = false;
   telemetry::SubscriptionId completion_sub_ = 0;
+  /// Cumulative legit-RT histogram in the cluster's MetricsRegistry
+  /// ("<name>.legit_ms"): every successful legit completion is Observe()d,
+  /// so Snapshot() exports bucketed RTs with p95/p99 alongside the gauges.
+  telemetry::MetricsRegistry::Id rt_hist_ =
+      telemetry::MetricsRegistry::kInvalidId;
   Samples window_;  ///< successful legit RTs in the current window
   std::uint64_t window_errors_ = 0;  ///< failed legit completions in window
   std::array<std::uint64_t, microsvc::kOutcomeCount> legit_outcomes_{};

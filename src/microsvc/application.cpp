@@ -169,20 +169,6 @@ Application Application::Builder::Build() && {
   return std::move(app_);
 }
 
-const ServiceSpec& Application::service(ServiceId id) const {
-  return services_.at(static_cast<std::size_t>(id));
-}
-
-const RequestTypeSpec& Application::request_type(RequestTypeId id) const {
-  return types_.at(static_cast<std::size_t>(id));
-}
-
-const RpcPolicy& Application::rpc_policy(RequestTypeId t,
-                                         std::size_t hop) const {
-  const auto& h = request_type(t).hops.at(hop);
-  return h.rpc ? *h.rpc : default_rpc_;
-}
-
 std::optional<ServiceId> Application::FindService(std::string_view name) const {
   const auto it = service_index_.find(name);
   if (it == service_index_.end()) return std::nullopt;

@@ -27,13 +27,21 @@ class Application {
   /// Defaults to "no timeout, no retry".
   const RpcPolicy& default_rpc() const { return default_rpc_; }
   /// Policy governing calls into hop `hop` of type `t` (the hop's own policy
-  /// or the application default).
-  const RpcPolicy& rpc_policy(RequestTypeId t, std::size_t hop) const;
+  /// or the application default). Inline: Cluster consults it on every hop
+  /// issue/completion, so the lookup must fold into the caller.
+  const RpcPolicy& rpc_policy(RequestTypeId t, std::size_t hop) const {
+    const Hop& h = request_type(t).hops[hop];
+    return h.rpc ? *h.rpc : default_rpc_;
+  }
 
   std::size_t service_count() const { return services_.size(); }
   std::size_t request_type_count() const { return types_.size(); }
-  const ServiceSpec& service(ServiceId id) const;
-  const RequestTypeSpec& request_type(RequestTypeId id) const;
+  const ServiceSpec& service(ServiceId id) const {
+    return services_[static_cast<std::size_t>(id)];
+  }
+  const RequestTypeSpec& request_type(RequestTypeId id) const {
+    return types_[static_cast<std::size_t>(id)];
+  }
   const std::vector<ServiceSpec>& services() const { return services_; }
   const std::vector<RequestTypeSpec>& request_types() const { return types_; }
 

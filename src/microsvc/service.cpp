@@ -23,24 +23,6 @@ void Service::PublishQueueEvent(telemetry::QueueEvent::Kind kind) {
   bus_->queue_depth().Publish(e);
 }
 
-bool Service::AcquireSlot(sim::InplaceFunction on_granted) {
-  if (slots_in_use_ < threads()) {
-    ++slots_in_use_;
-    // Fire via an event to flatten recursion and keep ordering deterministic.
-    sim_.After(0, std::move(on_granted));
-    return true;
-  }
-  if (spec_.max_queue_per_replica > 0 &&
-      slots_waiting() >= spec_.max_queue_per_replica * replicas_) {
-    ++rejected_arrivals_;
-    PublishQueueEvent(telemetry::QueueEvent::Kind::kRejected);
-    return false;
-  }
-  slot_waiters_.push_back(std::move(on_granted));
-  PublishQueueEvent(telemetry::QueueEvent::Kind::kEnqueued);
-  return true;
-}
-
 void Service::ReleaseSlot() {
   --slots_in_use_;
   if (!slot_waiters_.empty() && slots_in_use_ < threads()) {
@@ -61,31 +43,6 @@ std::int64_t Service::CumBusyCoreTime() {
   return busy_integral_;
 }
 
-void Service::RunCpu(SimDuration demand, sim::InplaceFunction done,
-                     sim::InplaceFunction on_killed) {
-  if (demand_factor_ != 1.0) {
-    demand = static_cast<SimDuration>(
-        std::llround(static_cast<double>(demand) * demand_factor_));
-  }
-  CpuBurst burst{demand, std::move(done), std::move(on_killed)};
-  if (cpu_busy_ < cores()) {
-    StartBurst(std::move(burst));
-  } else {
-    cpu_queue_.push_back(std::move(burst));
-  }
-}
-
-void Service::StartBurst(CpuBurst burst) {
-  AccumulateBusy();
-  ++cpu_busy_;
-  const std::uint64_t bid = next_burst_id_++;
-  // The completion callbacks stay in the running_ entry so the event
-  // closure is two words — small enough for the engine's inline buffer.
-  auto event = sim_.After(burst.demand, [this, bid] { FinishBurst(bid); });
-  running_.push_back(
-      {bid, event, std::move(burst.done), std::move(burst.on_killed)});
-}
-
 void Service::FinishBurst(std::uint64_t bid) {
   AccumulateBusy();
   --cpu_busy_;
@@ -101,7 +58,8 @@ void Service::FinishBurst(std::uint64_t bid) {
 
 void Service::MaybeStartCpu() {
   while (!cpu_queue_.empty() && cpu_busy_ < cores()) {
-    StartBurst(cpu_queue_.pop_front());
+    CpuBurst b = cpu_queue_.pop_front();
+    StartBurst(b.demand, std::move(b.done), std::move(b.on_killed));
   }
 }
 

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "microsvc/types.h"
@@ -57,7 +59,27 @@ class Service {
   /// one is available. FIFO among waiters. Returns false — and does NOT
   /// enqueue the callback — when admission control rejects the arrival
   /// (bounded queue full). Always true with an unbounded queue.
-  bool AcquireSlot(sim::InplaceFunction on_granted);
+  /// Templated so the granted-now fast path hands the raw callable to the
+  /// engine's zero-copy After(0) overload (no InplaceFunction round trip).
+  template <class F>
+  bool AcquireSlot(F&& on_granted) {
+    if (slots_in_use_ < threads()) {
+      ++slots_in_use_;
+      // Fire via an event to flatten recursion and keep ordering
+      // deterministic.
+      sim_.After(0, std::forward<F>(on_granted));
+      return true;
+    }
+    if (spec_.max_queue_per_replica > 0 &&
+        slots_waiting() >= spec_.max_queue_per_replica * replicas_) {
+      ++rejected_arrivals_;
+      PublishQueueEvent(telemetry::QueueEvent::Kind::kRejected);
+      return false;
+    }
+    slot_waiters_.push_back(sim::InplaceFunction(std::forward<F>(on_granted)));
+    PublishQueueEvent(telemetry::QueueEvent::Kind::kEnqueued);
+    return true;
+  }
 
   /// Releases a slot previously granted; wakes the next waiter if any.
   void ReleaseSlot();
@@ -66,9 +88,23 @@ class Service {
   /// Bursts are served FCFS by `cores()` parallel cores. A demand of zero
   /// completes immediately (still via an event, for deterministic ordering).
   /// `on_killed` (optional) fires instead of `done` if a replica crash kills
-  /// the burst while it is running or queued.
-  void RunCpu(SimDuration demand, sim::InplaceFunction done,
-              sim::InplaceFunction on_killed = nullptr);
+  /// the burst while it is running or queued. Templated so the start-now
+  /// fast path constructs both closures directly in the running_ entry —
+  /// the by-value signature relocated two 56-byte InplaceFunctions per hop.
+  template <class F, class G = std::nullptr_t>
+  void RunCpu(SimDuration demand, F&& done, G&& on_killed = G{}) {
+    if (demand_factor_ != 1.0) {
+      demand = static_cast<SimDuration>(
+          std::llround(static_cast<double>(demand) * demand_factor_));
+    }
+    if (cpu_busy_ < cores()) {
+      StartBurst(demand, std::forward<F>(done), std::forward<G>(on_killed));
+    } else {
+      cpu_queue_.push_back(
+          CpuBurst{demand, sim::InplaceFunction(std::forward<F>(done)),
+                   sim::InplaceFunction(std::forward<G>(on_killed))});
+    }
+  }
 
   // --- scaling (used by the autoscaler) ---
   void AddReplica();
@@ -181,7 +217,21 @@ class Service {
 
   void AccumulateBusy();
   void MaybeStartCpu();
-  void StartBurst(CpuBurst burst);
+
+  /// Claims a core and schedules the burst-completion event. The closures
+  /// are forwarded into the new running_ entry, constructed in place.
+  template <class F, class G>
+  void StartBurst(SimDuration demand, F&& done, G&& on_killed) {
+    AccumulateBusy();
+    ++cpu_busy_;
+    const std::uint64_t bid = next_burst_id_++;
+    // The completion callbacks stay in the running_ entry so the event
+    // closure is two words — small enough for the engine's inline buffer.
+    auto event = sim_.After(demand, [this, bid] { FinishBurst(bid); });
+    running_.emplace_back(bid, event, std::forward<F>(done),
+                          std::forward<G>(on_killed));
+  }
+
   void FinishBurst(std::uint64_t bid);
   void AdmitWaiters();
 

@@ -34,14 +34,23 @@ class InplaceFunction {
     EmplaceImpl<F, D>(std::forward<F>(f));
   }
 
+  /// True (at compile time) if a callable of type F takes the inline path.
+  template <class F, class D = std::decay_t<F>>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineCapacity && alignof(D) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<D>;
+
   /// Constructs the callable directly in this (empty or engaged) wrapper,
   /// skipping the temporary + relocation of `*this = InplaceFunction(f)`.
+  /// Returns is_inline() as a compile-time-known value so callers can count
+  /// SBO hits without reloading the ops table.
   template <class F, class D = std::decay_t<F>,
             class = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
                                      std::is_invocable_r_v<void, D&>>>
-  void Emplace(F&& f) {
+  bool Emplace(F&& f) {
     Reset();
     EmplaceImpl<F, D>(std::forward<F>(f));
+    return kFitsInline<F>;
   }
 
   InplaceFunction(InplaceFunction&& other) noexcept { MoveFrom(other); }
@@ -83,8 +92,7 @@ class InplaceFunction {
 
   template <class F, class D>
   void EmplaceImpl(F&& f) {
-    if constexpr (sizeof(D) <= kInlineCapacity && alignof(D) <= kInlineAlign &&
-                  std::is_nothrow_move_constructible_v<D>) {
+    if constexpr (kFitsInline<F>) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = &kInlineOps<D>;
     } else {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <type_traits>
 #include <utility>
 
 namespace grunt::sim {
@@ -15,7 +16,9 @@ namespace grunt::sim {
 /// touching the allocator. Elements must be default-constructible and
 /// movable; popped slots are overwritten with a default-constructed value so
 /// resources held by queued callbacks (e.g. InplaceFunction closures) are
-/// dropped as soon as they leave the queue.
+/// dropped as soon as they leave the queue (skipped for trivially
+/// destructible element types, which hold no resources — their pop is a
+/// plain copy + index bump).
 template <class T>
 class RingBuffer {
  public:
@@ -42,7 +45,9 @@ class RingBuffer {
   T pop_front() {
     assert(count_ > 0);
     T out = std::move(buf_[head_]);
-    buf_[head_] = T{};
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      buf_[head_] = T{};
+    }
     head_ = (head_ + 1) & (cap_ - 1);
     --count_;
     return out;

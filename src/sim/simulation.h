@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/inplace_function.h"
+#include "sim/ring_buffer.h"
 #include "sim/timer_wheel.h"
 #include "util/time_types.h"
 
@@ -84,6 +85,9 @@ class Simulation {
     std::uint64_t wheel_cascades = 0;   ///< bucket flushes
     std::uint64_t wheel_to_heap = 0;    ///< entries that cascaded into the heap
     std::size_t wheel_occupancy = 0;    ///< live entries in the wheel now
+    std::uint64_t immediate_scheduled = 0;  ///< zero-delay events in the lane
+    std::uint64_t immediate_cancelled = 0;  ///< cancelled in-lane (no sift)
+    std::size_t immediate_occupancy = 0;    ///< live entries in the lane now
   };
 
   Simulation() = default;
@@ -122,8 +126,8 @@ class Simulation {
       ThrowPastTime();
     }
     const std::uint32_t id = AllocSlot();
-    fn_slot(id).Emplace(std::forward<F>(fn));
-    return FinishSchedule(at, id, /*period=*/0);
+    const bool inl = fn_slot(id).Emplace(std::forward<F>(fn));
+    return FinishSchedule(at, id, /*period=*/0, inl);
   }
 
   template <class F, class = std::enable_if_t<
@@ -137,8 +141,8 @@ class Simulation {
   EventHandle Every(SimDuration period, F&& fn) {
     if (period <= 0) ThrowBadPeriod();
     const std::uint32_t id = AllocSlot();
-    fn_slot(id).Emplace(std::forward<F>(fn));
-    return FinishSchedule(now_ + period, id, period);
+    const bool inl = fn_slot(id).Emplace(std::forward<F>(fn));
+    return FinishSchedule(now_ + period, id, period, inl);
   }
 
   /// Classed zero-copy overloads (see the InplaceFunction variants above).
@@ -149,9 +153,9 @@ class Simulation {
       ThrowPastTime();
     }
     const std::uint32_t id = AllocSlot();
-    fn_slot(id).Emplace(std::forward<F>(fn));
+    const bool inl = fn_slot(id).Emplace(std::forward<F>(fn));
     if (cls == EventClass::kTimer) metas_[id].aux |= kAuxTimerClass;
-    return FinishSchedule(at, id, /*period=*/0);
+    return FinishSchedule(at, id, /*period=*/0, inl);
   }
 
   template <class F, class = std::enable_if_t<
@@ -166,9 +170,9 @@ class Simulation {
   EventHandle Every(SimDuration period, EventClass cls, F&& fn) {
     if (period <= 0) ThrowBadPeriod();
     const std::uint32_t id = AllocSlot();
-    fn_slot(id).Emplace(std::forward<F>(fn));
+    const bool inl = fn_slot(id).Emplace(std::forward<F>(fn));
     if (cls == EventClass::kTimer) metas_[id].aux |= kAuxTimerClass;
-    return FinishSchedule(now_ + period, id, period);
+    return FinishSchedule(now_ + period, id, period, inl);
   }
 
   /// Runs until the event queue drains or `until` is reached, whichever is
@@ -189,12 +193,25 @@ class Simulation {
   void SetTimerWheelEnabled(bool enabled) { wheel_enabled_ = enabled; }
   bool timer_wheel_enabled() const { return wheel_enabled_; }
 
+  /// Enables/disables the immediate-lane fast path for zero-delay events
+  /// (default on). Affects future schedules only; entries already in the lane
+  /// drain normally. Off, same-time events take the heap path — the baseline
+  /// the lane benchmarks and differential tests compare against.
+  void SetImmediateLaneEnabled(bool enabled) { lane_enabled_ = enabled; }
+  bool immediate_lane_enabled() const { return lane_enabled_; }
+
+  /// Routing threshold between heap and wheel: any event at least one
+  /// level-0 wheel horizon out is filed in the wheel regardless of class —
+  /// it cannot fire soon, so keeping it out of the heap shrinks the sift
+  /// height every near-term event pays (see EnqueueEntry).
+  static constexpr SimDuration kFarDelay = TimerWheel::Horizon(0);
+
   std::uint64_t events_fired() const { return events_fired_; }
   /// Number of live (not cancelled) scheduled events, wherever they sit:
   /// heap, wheel, or the repeating slot whose callback is running right now
   /// (out of the heap mid-callback, but still pending per its handle).
   std::size_t pending_events() const {
-    std::size_t n = heap_.size() - cancelled_in_heap_ + wheel_live_;
+    std::size_t n = heap_.size() - cancelled_in_heap_ + wheel_live_ + lane_live_;
     if (firing_slot_ != kNilSlot &&
         (metas_[firing_slot_].aux & kAuxCancelled) == 0) {
       ++n;
@@ -218,6 +235,7 @@ class Simulation {
   static constexpr std::uint32_t kAuxCancelled = 1;
   static constexpr std::uint32_t kAuxTimerClass = 2;  ///< EventClass::kTimer
   static constexpr std::uint32_t kAuxInWheel = 4;  ///< entry lives in wheel_
+  static constexpr std::uint32_t kAuxInLane = 8;   ///< entry lives in lane_
 
   /// Priority-queue entry: POD, cheap to sift. `gen` guards against slot
   /// recycling (an entry whose generation no longer matches is dead).
@@ -254,14 +272,17 @@ class Simulation {
   void FreeSlot(std::uint32_t id);
   /// Common tail of At/Every once the closure sits in slot `id`: bumps the
   /// stats, records the period, queues the entry, returns the handle.
+  /// `inline_cb` is the closure's is_inline() — compile-time-known at the
+  /// zero-copy call sites, so the SBO-hit counter folds to a constant there.
   EventHandle FinishSchedule(SimTime time, std::uint32_t id,
-                             SimDuration period);
+                             SimDuration period, bool inline_cb);
   [[noreturn]] static void ThrowPastTime();
   [[noreturn]] static void ThrowBadPeriod();
   void PushEntry(SimTime time, std::uint32_t slot_id, std::uint32_t gen);
-  /// Routes a ready-to-queue event to the wheel (kTimer class, far enough
-  /// out, wheel enabled) or the heap. Consumes one sequence number either
-  /// way, so firing order is independent of the backing store.
+  /// Routes a ready-to-queue event to the immediate lane (one-shot, time ==
+  /// Now(), lane enabled), the wheel (kTimer class, far enough out, wheel
+  /// enabled), or the heap. Consumes one sequence number whichever store
+  /// takes it, so firing order is independent of the backing store.
   void EnqueueEntry(SimTime time, std::uint32_t slot_id, std::uint32_t gen);
   /// Flushes wheel buckets into the heap while the wheel's earliest bound is
   /// <= min(limit, heap top). After it returns the heap top is the true
@@ -274,6 +295,10 @@ class Simulation {
   void PopTop();
   /// Drops cancelled/stale entries from the top of the heap.
   void PurgeTop();
+  /// Drops cancelled (generation-mismatched) entries from the lane front.
+  void PurgeLaneFront();
+  /// Pops and fires the lane front (must be live): the O(1) dispatch path.
+  void FireLaneFront();
   /// Removes all cancelled/stale entries when they outnumber live ones.
   void MaybeCompact();
   bool FireNext();
@@ -296,10 +321,25 @@ class Simulation {
 
   std::vector<QEntry> heap_;  ///< 4-ary min-heap ordered by (time, seq)
   std::size_t cancelled_in_heap_ = 0;
+  /// Lane counters live next to cancelled_in_heap_ so FireNext's per-event
+  /// store checks share a cache line. After a front purge, lane_live_ != 0
+  /// implies the lane front is live, so the hot paths branch on these and
+  /// never touch the ring itself unless the lane has work.
+  std::size_t lane_live_ = 0;  ///< live (not cancelled) entries in lane_
+  std::size_t cancelled_in_lane_ = 0;  ///< tombstones awaiting front purge
 
   TimerWheel wheel_;  ///< far-out kTimer events until their level expires
   std::size_t wheel_live_ = 0;  ///< live (not cancelled) entries in wheel_
   bool wheel_enabled_ = true;
+
+  /// Immediate lane: one-shot events scheduled for the current timestamp
+  /// (After(0) and At(Now())). The clock cannot advance past a live lane
+  /// entry — its (time == now_) key is the global minimum time — and both
+  /// now_ and next_seq_ are monotone, so the ring is (time, seq)-sorted by
+  /// construction: push/pop/cancel are O(1), no sift ever happens, and a
+  /// single EarlierKey compare against the heap top merges the two stores.
+  RingBuffer<QEntry> lane_;
+  bool lane_enabled_ = true;
 
   EngineStats stats_;
 };

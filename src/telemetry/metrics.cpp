@@ -83,6 +83,24 @@ void MetricsRegistry::Observe(Id id, double value) {
   ++m.buckets[b];
 }
 
+double MetricsRegistry::Quantile(const Metric& m, double q) {
+  if (m.count == 0 || m.bounds.empty()) return 0.0;
+  const double target = q * static_cast<double>(m.count);
+  double cum = 0;
+  for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+    const double in_bucket = static_cast<double>(m.buckets[b]);
+    if (cum + in_bucket >= target && in_bucket > 0) {
+      const double lower = b == 0 ? 0.0 : m.bounds[b - 1];
+      const double upper = m.bounds[b];
+      return lower + (upper - lower) * (target - cum) / in_bucket;
+    }
+    cum += in_bucket;
+  }
+  // The quantile falls in the overflow bucket: no upper edge to interpolate
+  // toward, so clamp to the highest finite bound (Prometheus convention).
+  return m.bounds.back();
+}
+
 json::Value MetricsRegistry::Export(const Metric& m) const {
   switch (m.kind) {
     case Kind::kCounter:
@@ -103,6 +121,8 @@ json::Value MetricsRegistry::Export(const Metric& m) const {
       h.emplace_back("count",
                      json::Value(static_cast<std::int64_t>(m.count)));
       h.emplace_back("sum", json::Value(m.sum));
+      h.emplace_back("p95", json::Value(Quantile(m, 0.95)));
+      h.emplace_back("p99", json::Value(Quantile(m, 0.99)));
       h.emplace_back("buckets", json::Value(std::move(buckets)));
       return json::Value(std::move(h));
     }

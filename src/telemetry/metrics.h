@@ -55,6 +55,13 @@ class MetricsRegistry {
   void Observe(Id id, double value);
   std::uint64_t histogram_count(Id id) const { return metrics_[id].count; }
   double histogram_sum(Id id) const { return metrics_[id].sum; }
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// containing bucket (Prometheus histogram_quantile convention: the first
+  /// bucket interpolates from 0, a quantile in the overflow bucket clamps to
+  /// the highest finite bound). 0 when the histogram is empty.
+  double histogram_quantile(Id id, double q) const {
+    return Quantile(metrics_[id], q);
+  }
 
   /// kInvalidId when the name was never registered.
   Id Find(std::string_view name) const;
@@ -86,6 +93,7 @@ class MetricsRegistry {
 
   Id Intern(std::string_view name, Kind kind);
   json::Value Export(const Metric& m) const;
+  static double Quantile(const Metric& m, double q);
 
   std::vector<Metric> metrics_;
 };

@@ -116,6 +116,16 @@ TEST(ResponseTimeMonitor, WindowsLegitOnly) {
   EXPECT_NEAR(rt.legit_mean_ms().at(0).value, 10.2, 0.01);
   EXPECT_DOUBLE_EQ(rt.legit_mean_ms().at(1).value, 0.0);
   EXPECT_NEAR(rt.legit_throughput().at(0).value, 1.0, 1e-9);
+  // The same completion feeds the registry histogram: one observation in
+  // "rt.legit_ms", and the p95 estimate lies inside its (10, 20] bucket.
+  auto& reg = cluster.telemetry().metrics();
+  const auto h = reg.Find("rt.legit_ms");
+  ASSERT_NE(h, telemetry::MetricsRegistry::kInvalidId);
+  EXPECT_EQ(reg.histogram_count(h), 1u);
+  EXPECT_NEAR(reg.histogram_sum(h), 10.2, 0.01);
+  const double p95 = reg.histogram_quantile(h, 0.95);
+  EXPECT_GT(p95, 10.0);
+  EXPECT_LE(p95, 20.0);
 }
 
 TEST(ResponseTimeMonitor, P95TracksTail) {

@@ -139,6 +139,8 @@ TEST(MetricsRegistry, HistogramBucketsAndSnapshotAreByteStable) {
       "  \"rt_ms\": {\n"
       "    \"count\": 3,\n"
       "    \"sum\": 105.5,\n"
+      "    \"p95\": 10,\n"
+      "    \"p99\": 10,\n"
       "    \"buckets\": {\n"
       "      \"le_1\": 1,\n"
       "      \"le_10\": 1,\n"
@@ -148,6 +150,24 @@ TEST(MetricsRegistry, HistogramBucketsAndSnapshotAreByteStable) {
       "}";
   EXPECT_EQ(reg.SnapshotJson(), expected);
   EXPECT_EQ(reg.SnapshotJson(), reg.SnapshotJson());  // byte-stable
+}
+
+TEST(MetricsRegistry, HistogramQuantileInterpolatesWithinBucket) {
+  MetricsRegistry reg;
+  const auto h = reg.Histogram("lat", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 50; ++i) reg.Observe(h, 5.0);    // le_10
+  for (int i = 0; i < 30; ++i) reg.Observe(h, 15.0);   // le_20
+  for (int i = 0; i < 20; ++i) reg.Observe(h, 25.0);   // le_30
+  // target rank 50 exhausts the first bucket exactly: its upper edge.
+  EXPECT_DOUBLE_EQ(reg.histogram_quantile(h, 0.5), 10.0);
+  // rank 95 sits 15/20 into the (20, 30] bucket.
+  EXPECT_DOUBLE_EQ(reg.histogram_quantile(h, 0.95), 27.5);
+  EXPECT_DOUBLE_EQ(reg.histogram_quantile(h, 0.99), 29.5);
+  // Overflow clamps to the highest finite bound; empty histograms read 0.
+  reg.Observe(h, 1000.0);
+  EXPECT_DOUBLE_EQ(reg.histogram_quantile(h, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(
+      reg.histogram_quantile(reg.Histogram("empty", {1.0}), 0.95), 0.0);
 }
 
 TEST(MetricsRegistry, DottedPathCollisionThrowsOnSnapshot) {

@@ -273,18 +273,19 @@ TEST(TimerWheelDifferential, MatchesHeapAndReferenceOnRandomSchedules) {
 TEST(TimerWheel, RoutesByClassAndDelay) {
   Simulation sim;
   int fired = 0;
-  sim.After(Ms(10), [&] { ++fired; });  // unclassed: heap
+  sim.After(Ms(1), [&] { ++fired; });   // unclassed, near: heap
+  sim.After(Ms(10), [&] { ++fired; });  // unclassed, >= far horizon: wheel
   sim.After(TimerWheel::kMinDelay - 1, EventClass::kTimer,
-            [&] { ++fired; });  // too near: heap
+            [&] { ++fired; });  // too near even for kTimer: heap
   sim.After(TimerWheel::kMinDelay, EventClass::kTimer, [&] { ++fired; });
   sim.After(Ms(10), EventClass::kTimer, [&] { ++fired; });
-  EXPECT_EQ(sim.stats().wheel_scheduled, 2u);
-  EXPECT_EQ(sim.stats().wheel_occupancy, 2u);
-  EXPECT_EQ(sim.pending_events(), 4u);
+  EXPECT_EQ(sim.stats().wheel_scheduled, 3u);
+  EXPECT_EQ(sim.stats().wheel_occupancy, 3u);
+  EXPECT_EQ(sim.pending_events(), 5u);
   sim.RunAll();
-  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(fired, 5);
   EXPECT_EQ(sim.stats().wheel_occupancy, 0u);
-  EXPECT_EQ(sim.stats().wheel_to_heap, 2u);
+  EXPECT_EQ(sim.stats().wheel_to_heap, 3u);
 }
 
 TEST(TimerWheel, DisabledEngineNeverUsesWheel) {
