@@ -8,13 +8,18 @@
 //  (b) sequential (compose/poll vs compose/media): the upstream path
 //      (compose/poll, bottleneck = compose-post) interferes at EVERY
 //      volume; the downstream path needs volume.
+//
+// The probes fan out through the CampaignExecutor (campaign_jobs.cpp holds
+// the per-deployment job bodies), so GRUNT_BENCH_BACKEND=process runs each
+// probe in an isolated worker process; seeds are per-job, so the table is
+// the same on every backend at any worker count.
 
 #include <cstdio>
 #include <vector>
 
-#include "attack/burst.h"
+#include "campaign_jobs.h"
+#include "dist/campaign_executor.h"
 #include "rig.h"
-#include "util/parallel_runner.h"
 
 using namespace grunt;
 using namespace grunt::bench;
@@ -26,71 +31,19 @@ struct Probe {
   double burst_pmb_ms = 0;
 };
 
-/// One direction of one pairwise test at one volume, on a fresh deployment
-/// (fresh state isolates the volumes from each other).
-Probe RunDirection(const CloudSetting& setting, std::int32_t burst_url,
-                   std::int32_t victim_url, std::int32_t volume,
-                   std::uint64_t seed) {
-  SocialNetworkRig rig(setting, seed);
-  rig.RunUntil(Sec(15));
-  attack::BotFarm bots({});
-  Probe out;
-  bool burst_done = false, probes_done = false;
-  const double rate = 800.0;
-  attack::BurstSender::Send(
-      rig.client(), bots, burst_url, /*heavy=*/true, rate, volume,
-      /*attack_traffic=*/false, [&](attack::BurstObservation obs) {
-        out.burst_pmb_ms = obs.EstimatePmbMs();
-        burst_done = true;
-      });
-  const auto first_probe =
-      static_cast<SimDuration>(volume / rate * 0.5 * 1e6);
-  rig.sim().After(first_probe, [&] {
-    attack::ProbeSender::Send(rig.client(), bots, victim_url, 5, Ms(30),
-                              [&](attack::BurstObservation obs) {
-                                out.victim_median_ms = obs.MedianRtMs();
-                                probes_done = true;
-                              });
-  });
-  while ((!burst_done || !probes_done) && rig.sim().Now() < Sec(120)) {
-    rig.sim().RunUntil(rig.sim().Now() + Sec(1));
-  }
-  return out;
-}
-
-double Baseline(const CloudSetting& setting, std::int32_t url,
-                std::uint64_t seed) {
-  SocialNetworkRig rig(setting, seed);
-  rig.RunUntil(Sec(15));
-  attack::BotFarm bots({});
-  double baseline = 0;
-  bool done = false;
-  attack::ProbeSender::Send(rig.client(), bots, url, 10, Ms(300),
-                            [&](attack::BurstObservation obs) {
-                              baseline = obs.MedianRtMs();
-                              done = true;
-                            });
-  while (!done && rig.sim().Now() < Sec(120)) {
-    rig.sim().RunUntil(rig.sim().Now() + Sec(1));
-  }
-  return baseline;
-}
-
-void RunPair(util::ParallelRunner& pool, const CloudSetting& setting,
+void RunPair(dist::CampaignExecutor& exec, const CloudSetting& setting,
              const char* label, const char* name_a, const char* name_b) {
-  const auto app = apps::MakeSocialNetwork(
-      {setting.replica_scale, setting.capacity_scale,
-       microsvc::ServiceTimeDist::kExponential});
-  const auto a = *app.FindRequestType(name_a);
-  const auto b = *app.FindRequestType(name_b);
   // Each probe runs on its own fresh deployment, so the baselines and every
-  // (volume, direction) cell fan out across the pool; seeds are per-job, so
-  // the table is the same at any thread count.
-  const auto bases = pool.Map<double>(2, [&](std::size_t i) {
-    return Baseline(setting, i == 0 ? a : b, 7 + i);
-  });
-  const double base_a = bases[0];
-  const double base_b = bases[1];
+  // (volume, direction) cell fan out across the executor.
+  std::vector<dist::JobSpec> base_jobs;
+  for (std::size_t i = 0; i < 2; ++i) {
+    json::Value args = SettingToJson(setting);
+    args.Set("url", json::Value(i == 0 ? name_a : name_b));
+    base_jobs.push_back(dist::JobSpec{std::move(args), /*seed=*/7 + i});
+  }
+  const auto bases = exec.Run("fig11_baseline", base_jobs);
+  const double base_a = bases[0].At("baseline_ms").AsDouble();
+  const double base_b = bases[1].At("baseline_ms").AsDouble();
   std::printf("\n--- %s: a=%s (baseline %.1fms), b=%s (baseline %.1fms) "
               "---\n",
               label, name_a, base_a, name_b, base_b);
@@ -99,13 +52,26 @@ void RunPair(util::ParallelRunner& pool, const CloudSetting& setting,
   std::printf("%10s | %14s %9s | %14s %9s\n", "(reqs)", "median (ms)",
               "interf?", "median (ms)", "interf?");
   const std::vector<std::int32_t> volumes{12, 24, 48, 96};
-  const auto probes =
-      pool.Map<Probe>(volumes.size() * 2, [&](std::size_t j) {
-        const std::int32_t volume = volumes[j / 2];
-        return j % 2 == 0
-                   ? RunDirection(setting, a, b, volume, 100 + volume)
-                   : RunDirection(setting, b, a, volume, 200 + volume);
-      });
+  std::vector<dist::JobSpec> probe_jobs;
+  for (std::size_t j = 0; j < volumes.size() * 2; ++j) {
+    const std::int32_t volume = volumes[j / 2];
+    const bool forward = j % 2 == 0;
+    json::Value args = SettingToJson(setting);
+    args.Set("burst", json::Value(forward ? name_a : name_b));
+    args.Set("victim", json::Value(forward ? name_b : name_a));
+    args.Set("volume", json::Value(static_cast<std::int64_t>(volume)));
+    probe_jobs.push_back(dist::JobSpec{
+        std::move(args),
+        /*seed=*/static_cast<std::uint64_t>((forward ? 100 : 200) +
+                                            volume)});
+  }
+  const auto raw = exec.Run("fig11_direction", probe_jobs);
+  std::vector<Probe> probes;
+  probes.reserve(raw.size());
+  for (const auto& r : raw) {
+    probes.push_back(Probe{r.At("victim_median_ms").AsDouble(),
+                           r.At("burst_pmb_ms").AsDouble()});
+  }
   for (std::size_t v = 0; v < volumes.size(); ++v) {
     const Probe& ab = probes[2 * v];
     const Probe& ba = probes[2 * v + 1];
@@ -126,11 +92,15 @@ int main() {
          "threshold, both directions; (b) sequential pair: the upstream "
          "path interferes at every volume");
   const CloudSetting setting{"EC2-7K", 7000, 1.0, 1};
-  util::ParallelRunner pool;
-  std::fprintf(stderr, "probing on %u threads\n", pool.threads());
-  RunPair(pool, setting, "Fig 11(a): PARALLEL pair", "compose/media",
+  RegisterCampaignJobs();
+  dist::CampaignExecutor exec(  // GRUNT_BENCH_BACKEND / GRUNT_BENCH_WORKERS
+      ConfigFromEnvOrDie());
+  std::fprintf(stderr, "probing on %u %s workers\n", exec.workers(),
+               dist::BackendName(exec.backend()));
+  RunPair(exec, setting, "Fig 11(a): PARALLEL pair", "compose/media",
           "compose/url");
-  RunPair(pool, setting, "Fig 11(b): SEQUENTIAL pair (a upstream)",
+  RunPair(exec, setting, "Fig 11(b): SEQUENTIAL pair (a upstream)",
           "compose/poll", "compose/media");
+  MaybeExportCampaignStats(exec);
   return 0;
 }

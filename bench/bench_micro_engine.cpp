@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "attack/kalman.h"
+#include "campaign_jobs.h"
+#include "dist/campaign_executor.h"
 #include "fixtures_path.h"
 #include "microsvc/cluster.h"
 #include "model/queuing_model.h"
@@ -347,41 +349,46 @@ double MeasureImmediateChurnPerSec(bool use_lane,
   return static_cast<double>(events) / elapsed;
 }
 
-/// One independent simulated campaign; returns an FNV-1a hash of its result
-/// stream so runs at different thread counts can be compared bit-for-bit.
-std::uint64_t MiniCampaign(std::size_t job) {
-  const auto app = bench_fixtures::SingleChainApp();
-  sim::Simulation sim;
-  microsvc::Cluster cluster(sim, app, 1);
-  RngStream arrivals(static_cast<std::uint64_t>(job) + 1, "bench.campaign");
-  SimTime t = 0;
-  for (int i = 0; i < 20000; ++i) {
-    t += arrivals.NextInt(Us(50), Us(500));
-    sim.At(t, [&cluster, i] {
-      cluster.Submit(0, microsvc::RequestClass::kLegit, i % 7 == 0, 1);
-    });
-  }
-  sim.RunAll();
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ull; };
-  mix(cluster.completed_count());
-  mix(static_cast<std::uint64_t>(sim.Now()));
-  mix(sim.events_fired());
-  return h;
-}
-
 struct CampaignTiming {
   double wall_sec = 0;
   std::vector<std::uint64_t> hashes;
 };
 
+// The campaign body (bench::MiniCampaignHash) lives in campaign_jobs.cpp,
+// registered as the "mini_campaign" kind, so the in-process timing below and
+// the out-of-process backends run the exact same simulation.
 CampaignTiming TimeCampaigns(unsigned threads, std::size_t jobs) {
   util::ParallelRunner pool(threads);
   CampaignTiming out;
   const auto t0 = Clock::now();
-  out.hashes =
-      pool.Map<std::uint64_t>(jobs, [](std::size_t i) { return MiniCampaign(i); });
+  out.hashes = pool.Map<std::uint64_t>(jobs, [](std::size_t i) {
+    return bench::MiniCampaignHash(i);
+  });
   out.wall_sec = SecondsSince(t0);
+  return out;
+}
+
+/// The same jobs through a CampaignExecutor backend (timing includes worker
+/// startup — that cost is part of what the backend comparison measures).
+CampaignTiming TimeCampaignsOn(dist::Backend backend, unsigned workers,
+                               std::size_t jobs) {
+  dist::ExecutorConfig cfg;
+  cfg.backend = backend;
+  cfg.workers = workers;
+  dist::CampaignExecutor exec(cfg);
+  std::vector<dist::JobSpec> specs;
+  specs.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    specs.push_back(dist::JobSpec{json::Value(json::Object{}), i});
+  }
+  CampaignTiming out;
+  const auto t0 = Clock::now();
+  const auto raw = exec.Run("mini_campaign", specs);
+  out.wall_sec = SecondsSince(t0);
+  out.hashes.reserve(raw.size());
+  for (const auto& r : raw) {
+    out.hashes.push_back(bench::HashFromHex(r.At("hash").AsString()));
+  }
   return out;
 }
 
@@ -428,9 +435,20 @@ void WriteEngineJson() {
     parallel = TimeCampaigns(par_threads, kJobs);
     identical = serial.hashes == parallel.hashes;
   }
+  // Process-backend scaling entry: same jobs through pre-forked worker
+  // processes. The determinism cross-check (hashes vs the serial in-process
+  // run) is meaningful even on a 1-core box; the speedup over the thread
+  // backend is only recorded when there is real parallelism to measure.
+  bench::RegisterCampaignJobs();
+  const unsigned proc_workers = std::max(2u, par_threads);
+  std::fprintf(stderr, "timing %zu mini-campaigns on %u process workers...\n",
+               kJobs, proc_workers);
+  const CampaignTiming process =
+      TimeCampaignsOn(dist::Backend::kProcess, proc_workers, kJobs);
+  const bool process_identical = serial.hashes == process.hashes;
 
   json::Object root;
-  root.emplace_back("schema", 3);
+  root.emplace_back("schema", 4);
   {
     json::Object o;
     o.emplace_back("schedule_fire_events_per_sec", Round0(inline_eps));
@@ -471,6 +489,21 @@ void WriteEngineJson() {
     } else {
       o.emplace_back("speedup", json::Value(nullptr));
       o.emplace_back("speedup_skipped", "only 1 thread available");
+    }
+    o.emplace_back("process_workers",
+                   static_cast<std::int64_t>(proc_workers));
+    o.emplace_back("wall_sec_process", Round3(process.wall_sec));
+    o.emplace_back("process_results_identical", process_identical);
+    if (can_compare) {
+      // Control: the thread backend at the same worker count
+      // (wall_sec_n_threads above). ParallelRunner IS the thread backend.
+      o.emplace_back("process_speedup_vs_thread",
+                     Round2(process.wall_sec > 0
+                                ? parallel.wall_sec / process.wall_sec
+                                : 0.0));
+    } else {
+      o.emplace_back("process_speedup_vs_thread", json::Value(nullptr));
+      o.emplace_back("process_speedup_skipped", "only 1 thread available");
     }
     root.emplace_back("campaign_fanout", json::Value(std::move(o)));
   }

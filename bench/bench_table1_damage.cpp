@@ -10,8 +10,9 @@
 #include <cstdio>
 #include <iostream>
 
+#include "campaign_jobs.h"
+#include "dist/campaign_executor.h"
 #include "rig.h"
-#include "util/parallel_runner.h"
 
 int main(int argc, char** argv) {
   using namespace grunt;
@@ -35,24 +36,35 @@ int main(int argc, char** argv) {
                 "Scale acts", "Attrib. alerts"});
 
   const auto settings = PaperSettings();
-  util::ParallelRunner pool;
+  RegisterCampaignJobs();
+  dist::CampaignExecutor exec(  // GRUNT_BENCH_BACKEND / GRUNT_BENCH_WORKERS
+      ConfigFromEnvOrDie());
   for (const auto& setting : settings) {
     std::printf("running %s (%d users)...\n", setting.name.c_str(),
                 setting.users);
   }
-  std::fprintf(stderr, "dispatching %zu campaigns on %u threads\n",
-               settings.size(), pool.threads());  // stderr: stdout is
-                                                  // byte-stable per thread
-                                                  // count
+  std::fprintf(stderr, "dispatching %zu campaigns on %u %s workers\n",
+               settings.size(), exec.workers(),
+               dist::BackendName(exec.backend()));  // stderr: stdout is
+                                                    // byte-stable per
+                                                    // backend/worker count
   // Campaigns are independent (each builds its own Simulation); results come
-  // back in settings order, so the tables below are identical at any thread
+  // back in settings order and round-trip through the byte-stable campaign
+  // codec, so the tables below are identical on every backend at any worker
   // count.
-  const auto results = pool.Map<CampaignResult>(
-      settings.size(), [&settings](std::size_t i) {
-        return RunSocialNetworkCampaign(settings[i],
-                                        /*attack_duration=*/Sec(60),
-                                        /*seed=*/1000 + settings[i].users);
-      });
+  std::vector<dist::JobSpec> jobs;
+  jobs.reserve(settings.size());
+  for (const auto& setting : settings) {
+    json::Value args = SettingToJson(setting);
+    args.Set("attack_sec", json::Value(std::int64_t{60}));
+    jobs.push_back(dist::JobSpec{std::move(args),
+                                 /*seed=*/1000 + std::uint64_t{setting.users}});
+  }
+  const auto raw = exec.Run("socialnetwork_campaign", jobs);
+  std::vector<CampaignResult> results;
+  results.reserve(raw.size());
+  for (const auto& r : raw) results.push_back(CampaignResultFromJson(r));
+  MaybeExportCampaignStats(exec);
 
   for (std::size_t i = 0; i < settings.size(); ++i) {
     const auto& setting = settings[i];

@@ -1,0 +1,106 @@
+#include "dist/frame.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace grunt::dist {
+
+namespace {
+
+/// read() until `n` bytes or EOF. Returns bytes actually read (< n only on
+/// EOF); throws FrameError on a hard error.
+std::size_t ReadFully(int fd, void* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r =
+        ::read(fd, static_cast<char*>(buf) + got, n - got);
+    if (r == 0) break;  // EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw FrameError(std::string("frame read failed: ") +
+                       std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+void WriteFrame(int fd, const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw FrameError("frame payload of " +
+                     std::to_string(frame.payload.size()) +
+                     " bytes exceeds the " +
+                     std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(frame.payload.size()) + 1;
+  char header[5];
+  header[0] = static_cast<char>(length & 0xff);
+  header[1] = static_cast<char>((length >> 8) & 0xff);
+  header[2] = static_cast<char>((length >> 16) & 0xff);
+  header[3] = static_cast<char>((length >> 24) & 0xff);
+  header[4] = static_cast<char>(frame.type);
+  // One buffered write for the common small frame would be nicer, but the
+  // header + payload split keeps the payload zero-copy; both writes loop.
+  const auto write_all = [fd](const char* data, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::write(fd, data + sent, n - sent);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        throw FrameError(std::string("frame write failed: ") +
+                         std::strerror(errno));
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+  };
+  write_all(header, sizeof(header));
+  write_all(frame.payload.data(), frame.payload.size());
+}
+
+bool ReadFrame(int fd, Frame* out) {
+  char header[5];
+  const std::size_t got = ReadFully(fd, header, sizeof(header));
+  if (got == 0) return false;  // clean EOF on a frame boundary
+  if (got < sizeof(header)) {
+    throw FrameError("truncated frame: EOF after " + std::to_string(got) +
+                     " of 5 header bytes");
+  }
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]))
+       << 24);
+  if (length == 0) throw FrameError("corrupt frame: zero length");
+  if (length - 1 > kMaxFramePayload) {
+    throw FrameError("corrupt frame: " + std::to_string(length - 1) +
+                     "-byte payload exceeds the " +
+                     std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  const auto raw_type = static_cast<unsigned char>(header[4]);
+  if (raw_type < static_cast<unsigned char>(FrameType::kHello) ||
+      raw_type > static_cast<unsigned char>(FrameType::kShutdown)) {
+    throw FrameError("corrupt frame: unknown type " +
+                     std::to_string(raw_type));
+  }
+  out->type = static_cast<FrameType>(raw_type);
+  out->payload.resize(length - 1);
+  if (length > 1) {
+    const std::size_t body = ReadFully(fd, out->payload.data(), length - 1);
+    if (body < length - 1) {
+      throw FrameError("truncated frame: EOF after " + std::to_string(body) +
+                       " of " + std::to_string(length - 1) +
+                       " payload bytes");
+    }
+  }
+  return true;
+}
+
+}  // namespace grunt::dist

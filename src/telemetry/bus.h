@@ -100,6 +100,7 @@ class TelemetryBus {
   Channel<BreakerTransition>& breaker() { return breaker_; }
   Channel<ScaleEvent>& scale() { return scale_; }
   Channel<EngineStatsEvent>& engine_stats() { return engine_stats_; }
+  Channel<CampaignJobEvent>& campaign_job() { return campaign_job_; }
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -112,6 +113,7 @@ class TelemetryBus {
   Channel<BreakerTransition> breaker_;
   Channel<ScaleEvent> scale_;
   Channel<EngineStatsEvent> engine_stats_;
+  Channel<CampaignJobEvent> campaign_job_;
   MetricsRegistry metrics_;
 };
 

@@ -92,4 +92,17 @@ struct EngineStatsEvent {
   sim::Simulation::EngineStats stats;
 };
 
+/// One campaign job finishing on a CampaignExecutor backend (src/dist).
+/// Unlike every other event this is wall-clock, not sim-time: the executor
+/// fans whole simulations out across workers, so there is no shared sim
+/// clock to stamp. Published on the dispatcher side as each result frame
+/// (or crash) comes back, in completion order.
+struct CampaignJobEvent {
+  std::size_t job_index = 0;
+  unsigned worker = 0;  ///< lane that ran it (thread backend: always 0)
+  bool stolen = false;  ///< ran off its static-shard owner (job % workers)
+  bool ok = false;
+  double latency_ms = 0;  ///< dispatch-to-result wall time
+};
+
 }  // namespace grunt::telemetry

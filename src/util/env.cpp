@@ -1,0 +1,40 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace grunt::util {
+
+unsigned long ParsePositiveEnv(const char* name, const char* text,
+                               unsigned long max) {
+  const std::string value = text == nullptr ? "" : text;
+  const auto fail = [&](const char* why) {
+    throw EnvError(std::string(name) + "=\"" + value + "\": " + why +
+                   " (expected an integer in [1, " + std::to_string(max) +
+                   "])");
+  };
+  if (value.empty()) fail("empty value");
+  // std::strtoul accepts leading whitespace, signs, and hex prefixes; a
+  // count knob should be plain digits and nothing else.
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) fail("not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (errno == ERANGE) fail("overflows");
+  if (end != value.c_str() + value.size()) fail("trailing garbage");
+  if (parsed == 0) fail("must be positive");
+  if (parsed > max) fail("out of range");
+  return parsed;
+}
+
+unsigned long PositiveEnvOr(const char* name, unsigned long fallback,
+                            unsigned long max) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return fallback;
+  return ParsePositiveEnv(name, text, max);
+}
+
+}  // namespace grunt::util

@@ -2,22 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "util/env.h"
+
 namespace grunt::util {
 
 unsigned ParallelRunner::DefaultThreads() {
-  if (const char* env = std::getenv("GRUNT_BENCH_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  // A garbage GRUNT_BENCH_THREADS (negative, non-numeric, overflowing)
+  // throws EnvError instead of silently running on hardware_concurrency:
+  // a typo'd knob must not quietly invalidate a perf comparison.
+  return static_cast<unsigned>(PositiveEnvOr(
+      "GRUNT_BENCH_THREADS", hw > 0 ? hw : 1, kMaxThreads));
 }
 
 ParallelRunner::ParallelRunner(unsigned threads)

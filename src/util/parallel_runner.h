@@ -35,9 +35,14 @@ class ParallelRunner {
     return out;
   }
 
-  /// GRUNT_BENCH_THREADS if set to a positive integer, else
-  /// std::thread::hardware_concurrency(), else 1.
+  /// GRUNT_BENCH_THREADS if set, else std::thread::hardware_concurrency(),
+  /// else 1. A set-but-invalid GRUNT_BENCH_THREADS (garbage, negative,
+  /// zero, overflow, > kMaxThreads) throws util::EnvError rather than
+  /// silently falling back.
   static unsigned DefaultThreads();
+
+  /// Upper bound accepted from GRUNT_BENCH_THREADS / GRUNT_BENCH_WORKERS.
+  static constexpr unsigned kMaxThreads = 4096;
 
  private:
   unsigned threads_;

@@ -1,0 +1,416 @@
+// Tests for the out-of-process campaign layer (src/dist): frame codec,
+// job registry, and the CampaignExecutor's three backends — including the
+// determinism contract (bit-identical results on every backend at any
+// worker count) and crash containment (a dying worker fails one job with a
+// diagnosable error, not the campaign).
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/campaign_executor.h"
+#include "dist/frame.h"
+#include "dist/job_registry.h"
+#include "dist/worker_loop.h"
+#include "telemetry/bus.h"
+#include "util/env.h"
+#include "util/json.h"
+
+namespace grunt::dist {
+namespace {
+
+// ---- test job kinds ------------------------------------------------------
+
+void RegisterTestKinds() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& reg = JobRegistry::Global();
+    // Deterministic pure function of (args, seed).
+    reg.Register("t_echo", [](const json::Value& args, std::uint64_t seed) {
+      json::Object o;
+      o.emplace_back("sum", args.At("x").AsInt64() +
+                                static_cast<std::int64_t>(seed));
+      o.emplace_back("tag", args.At("tag").AsString());
+      return json::Value(std::move(o));
+    });
+    // Throws for odd seeds.
+    reg.Register("t_flaky", [](const json::Value& args,
+                               std::uint64_t seed) -> json::Value {
+      if (seed % 2 == 1) {
+        throw std::runtime_error("boom seed " + std::to_string(seed));
+      }
+      return args;
+    });
+    // Kills its worker process outright when args.crash is true.
+    reg.Register("t_crash", [](const json::Value& args,
+                               std::uint64_t /*seed*/) -> json::Value {
+      if (const json::Value* c = args.Find("crash");
+          c != nullptr && c->AsBool()) {
+        ::_exit(42);
+      }
+      json::Object o;
+      o.emplace_back("ok", true);
+      return json::Value(std::move(o));
+    });
+  });
+}
+
+std::vector<JobSpec> EchoJobs(std::size_t n) {
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    json::Object o;
+    o.emplace_back("x", static_cast<std::int64_t>(i * 10));
+    o.emplace_back("tag", "job" + std::to_string(i));
+    jobs.push_back(JobSpec{json::Value(std::move(o)), /*seed=*/i + 100});
+  }
+  return jobs;
+}
+
+std::vector<std::string> Dumps(const std::vector<json::Value>& vals) {
+  std::vector<std::string> out;
+  for (const auto& v : vals) out.push_back(v.Dump(0));
+  return out;
+}
+
+std::vector<json::Value> RunEchoOn(Backend backend, unsigned workers,
+                                   std::size_t n,
+                                   telemetry::TelemetryBus* bus = nullptr) {
+  ExecutorConfig cfg;
+  cfg.backend = backend;
+  cfg.workers = workers;
+  cfg.bus = bus;
+  CampaignExecutor exec(cfg);
+  return exec.Run("t_echo", EchoJobs(n));
+}
+
+// ---- frame codec ---------------------------------------------------------
+
+TEST(Frame, RoundTripsOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const Frame sent{FrameType::kJob, R"({"job":0,"kind":"k"})"};
+  WriteFrame(fds[1], sent);
+  Frame got;
+  ASSERT_TRUE(ReadFrame(fds[0], &got));
+  EXPECT_EQ(got.type, FrameType::kJob);
+  EXPECT_EQ(got.payload, sent.payload);
+  // Empty payload is legal (kShutdown has none).
+  WriteFrame(fds[1], Frame{FrameType::kShutdown, ""});
+  ASSERT_TRUE(ReadFrame(fds[0], &got));
+  EXPECT_EQ(got.type, FrameType::kShutdown);
+  EXPECT_TRUE(got.payload.empty());
+  ::close(fds[1]);
+  // Clean EOF at a frame boundary: false, not an error.
+  EXPECT_FALSE(ReadFrame(fds[0], &got));
+  ::close(fds[0]);
+}
+
+TEST(Frame, TruncatedFrameIsAProtocolError) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Header promises 10 payload bytes; deliver the type byte and 3 of them.
+  const std::uint32_t len = 1 + 10;
+  ASSERT_EQ(::write(fds[1], &len, 4), 4);
+  const unsigned char partial[4] = {2, 'a', 'b', 'c'};
+  ASSERT_EQ(::write(fds[1], partial, 4), 4);
+  ::close(fds[1]);
+  Frame got;
+  EXPECT_THROW(ReadFrame(fds[0], &got), FrameError);
+  ::close(fds[0]);
+}
+
+TEST(Frame, RejectsCorruptHeaders) {
+  {  // zero length (no room for the type byte)
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::uint32_t len = 0;
+    ASSERT_EQ(::write(fds[1], &len, 4), 4);
+    ::close(fds[1]);
+    Frame got;
+    EXPECT_THROW(ReadFrame(fds[0], &got), FrameError);
+    ::close(fds[0]);
+  }
+  {  // absurd length
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::uint32_t len = 0xffffffffu;
+    ASSERT_EQ(::write(fds[1], &len, 4), 4);
+    ::close(fds[1]);
+    Frame got;
+    EXPECT_THROW(ReadFrame(fds[0], &got), FrameError);
+    ::close(fds[0]);
+  }
+  {  // unknown frame type
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::uint32_t len = 1;
+    ASSERT_EQ(::write(fds[1], &len, 4), 4);
+    const unsigned char type = 99;
+    ASSERT_EQ(::write(fds[1], &type, 1), 1);
+    ::close(fds[1]);
+    Frame got;
+    EXPECT_THROW(ReadFrame(fds[0], &got), FrameError);
+    ::close(fds[0]);
+  }
+}
+
+// ---- job registry --------------------------------------------------------
+
+TEST(JobRegistry, FindsRegisteredKindsAndRejectsDuplicates) {
+  RegisterTestKinds();
+  auto& reg = JobRegistry::Global();
+  EXPECT_NE(reg.Find("t_echo"), nullptr);
+  EXPECT_EQ(reg.Find("no_such_kind"), nullptr);
+  EXPECT_THROW(reg.Register("t_echo", [](const json::Value& a,
+                                         std::uint64_t) { return a; }),
+               json::Error);
+}
+
+TEST(JobRegistry, RunRegisteredJobNamesUnknownKind) {
+  try {
+    RunRegisteredJob("definitely_missing", json::Value(json::Object{}), 1);
+    FAIL() << "expected json::Error";
+  } catch (const json::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("definitely_missing"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- executor config -----------------------------------------------------
+
+TEST(ExecutorConfig, ParsesBackendsAndRejectsGarbage) {
+  EXPECT_EQ(ParseBackend("thread"), Backend::kThread);
+  EXPECT_EQ(ParseBackend("process"), Backend::kProcess);
+  EXPECT_EQ(ParseBackend("socket"), Backend::kSocket);
+  EXPECT_THROW(ParseBackend("forkjoin"), util::EnvError);
+
+  ::setenv("GRUNT_BENCH_BACKEND", "process", 1);
+  ::setenv("GRUNT_BENCH_WORKERS", "3", 1);
+  ExecutorConfig cfg = ConfigFromEnv();
+  EXPECT_EQ(cfg.backend, Backend::kProcess);
+  EXPECT_EQ(cfg.workers, 3u);
+
+  ::setenv("GRUNT_BENCH_BACKEND", "bogus", 1);
+  EXPECT_THROW(ConfigFromEnv(), util::EnvError);
+  ::setenv("GRUNT_BENCH_BACKEND", "thread", 1);
+  ::setenv("GRUNT_BENCH_WORKERS", "minus two", 1);
+  EXPECT_THROW(ConfigFromEnv(), util::EnvError);
+
+  ::unsetenv("GRUNT_BENCH_BACKEND");
+  ::unsetenv("GRUNT_BENCH_WORKERS");
+  cfg = ConfigFromEnv();
+  EXPECT_EQ(cfg.backend, Backend::kThread);
+  EXPECT_EQ(cfg.workers, 0u);  // resolves to DefaultThreads in the ctor
+}
+
+// ---- determinism across backends -----------------------------------------
+
+TEST(CampaignExecutor, ResultsAreBitIdenticalAcrossBackends) {
+  RegisterTestKinds();
+  constexpr std::size_t kJobs = 9;
+  const auto reference = Dumps(RunEchoOn(Backend::kThread, 1, kJobs));
+  ASSERT_EQ(reference.size(), kJobs);
+  EXPECT_EQ(Dumps(RunEchoOn(Backend::kThread, 4, kJobs)), reference);
+  EXPECT_EQ(Dumps(RunEchoOn(Backend::kProcess, 1, kJobs)), reference);
+  EXPECT_EQ(Dumps(RunEchoOn(Backend::kProcess, 4, kJobs)), reference);
+}
+
+TEST(CampaignExecutor, SocketBackendMatchesToo) {
+  RegisterTestKinds();
+  constexpr std::size_t kJobs = 5;
+  const auto reference = Dumps(RunEchoOn(Backend::kThread, 1, kJobs));
+  std::thread worker;
+  std::vector<std::string> got;
+  {
+    ExecutorConfig cfg;
+    cfg.backend = Backend::kSocket;
+    cfg.workers = 1;
+    cfg.accept_timeout_sec = 30.0;
+    CampaignExecutor exec(cfg);
+    const std::uint16_t port = exec.BindListener();
+    ASSERT_GT(port, 0);
+    worker = std::thread(
+        [port] { RunSocketWorker("127.0.0.1", port, "test-worker"); });
+    got = Dumps(exec.Run("t_echo", EchoJobs(kJobs)));
+    EXPECT_EQ(exec.worker_stats().at(0).name, "test-worker");
+  }  // destructor shuts the lane down, ending the worker loop
+  worker.join();
+  EXPECT_EQ(got, reference);
+}
+
+TEST(CampaignExecutor, PoolPersistsAcrossRuns) {
+  RegisterTestKinds();
+  ExecutorConfig cfg;
+  cfg.backend = Backend::kProcess;
+  cfg.workers = 2;
+  CampaignExecutor exec(cfg);
+  const auto first = Dumps(exec.Run("t_echo", EchoJobs(4)));
+  const auto second = Dumps(exec.Run("t_echo", EchoJobs(4)));
+  EXPECT_EQ(first, second);
+  // Same pids served both batches: no respawn between runs.
+  for (const auto& st : exec.worker_stats()) {
+    EXPECT_EQ(st.restarts, 0u);
+  }
+  std::uint64_t total = 0;
+  for (const auto& st : exec.worker_stats()) total += st.jobs;
+  EXPECT_EQ(total, 8u);
+}
+
+// ---- error propagation (satellite: job-index + backend context) ----------
+
+TEST(CampaignExecutor, ThreadBackendCarriesJobContextInErrors) {
+  RegisterTestKinds();
+  ExecutorConfig cfg;
+  cfg.backend = Backend::kThread;
+  cfg.workers = 2;
+  CampaignExecutor exec(cfg);
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    jobs.push_back(JobSpec{json::Value(json::Object{}), /*seed=*/i});
+  }
+  // Seeds 1,3,5 throw; Run must surface the lowest failed index with kind,
+  // backend, and the underlying message.
+  try {
+    exec.Run("t_flaky", jobs);
+    FAIL() << "expected CampaignError";
+  } catch (const CampaignError& e) {
+    EXPECT_EQ(e.job_index(), 1u);
+    EXPECT_EQ(e.kind(), "t_flaky");
+    EXPECT_EQ(e.backend(), Backend::kThread);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("job 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("t_flaky"), std::string::npos) << what;
+    EXPECT_NE(what.find("thread"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom seed 1"), std::string::npos) << what;
+  }
+  // RunAll reports every failure individually, successes intact.
+  const auto outcomes = exec.RunAll("t_flaky", jobs);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].ok, i % 2 == 0) << i;
+  }
+}
+
+TEST(CampaignExecutor, ProcessBackendCarriesJobContextInErrors) {
+  RegisterTestKinds();
+  ExecutorConfig cfg;
+  cfg.backend = Backend::kProcess;
+  cfg.workers = 2;
+  CampaignExecutor exec(cfg);
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    jobs.push_back(JobSpec{json::Value(json::Object{}), /*seed=*/i});
+  }
+  try {
+    exec.Run("t_flaky", jobs);
+    FAIL() << "expected CampaignError";
+  } catch (const CampaignError& e) {
+    EXPECT_EQ(e.job_index(), 1u);
+    EXPECT_EQ(e.backend(), Backend::kProcess);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("job 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("process"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom seed 1"), std::string::npos) << what;
+  }
+}
+
+// ---- crash containment ---------------------------------------------------
+
+TEST(CampaignExecutor, WorkerCrashFailsOnlyItsJob) {
+  RegisterTestKinds();
+  ExecutorConfig cfg;
+  cfg.backend = Backend::kProcess;
+  cfg.workers = 2;
+  CampaignExecutor exec(cfg);
+  constexpr std::size_t kJobs = 6;
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    json::Object o;
+    o.emplace_back("crash", i == 3);
+    jobs.push_back(JobSpec{json::Value(std::move(o)), /*seed=*/i});
+  }
+  const auto outcomes = exec.RunAll("t_crash", jobs);
+  ASSERT_EQ(outcomes.size(), kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    if (i == 3) continue;
+    EXPECT_TRUE(outcomes[i].ok) << i << ": " << outcomes[i].error;
+  }
+  EXPECT_FALSE(outcomes[3].ok);
+  const std::string& err = outcomes[3].error;
+  EXPECT_NE(err.find("job 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("t_crash"), std::string::npos) << err;
+  EXPECT_NE(err.find("process"), std::string::npos) << err;
+  EXPECT_NE(err.find("exited with status 42"), std::string::npos) << err;
+  // The pool replaced the dead worker to finish the remaining jobs.
+  unsigned restarts = 0;
+  for (const auto& st : exec.worker_stats()) restarts += st.restarts;
+  EXPECT_GE(restarts, 1u);
+}
+
+// ---- telemetry -----------------------------------------------------------
+
+TEST(CampaignExecutor, PublishesPerJobEventsAndCounters) {
+  RegisterTestKinds();
+  telemetry::TelemetryBus bus;
+  std::vector<std::size_t> seen;
+  bus.campaign_job().Subscribe(
+      [&](const telemetry::CampaignJobEvent& e) {
+        seen.push_back(e.job_index);
+        EXPECT_TRUE(e.ok);
+        EXPECT_GE(e.latency_ms, 0.0);
+      });
+  constexpr std::size_t kJobs = 5;
+  {
+    ExecutorConfig cfg;
+    cfg.backend = Backend::kProcess;
+    cfg.workers = 2;
+    cfg.bus = &bus;
+    CampaignExecutor exec(cfg);
+    exec.Run("t_echo", EchoJobs(kJobs));
+    const json::Value stats = exec.StatsJson();
+    EXPECT_EQ(stats.At("backend").AsString(), "process");
+    std::int64_t total = 0;
+    for (const auto& w : stats.At("per_worker").AsArray()) {
+      total += w.At("jobs").AsInt64();
+    }
+    EXPECT_EQ(total, static_cast<std::int64_t>(kJobs));
+  }
+  EXPECT_EQ(seen.size(), kJobs);
+  auto& reg = bus.metrics();
+  const auto ok_id = reg.Find("campaign.jobs_ok");
+  ASSERT_NE(ok_id, telemetry::MetricsRegistry::kInvalidId);
+  EXPECT_EQ(reg.counter_value(ok_id), kJobs);
+  const auto ms_id = reg.Find("campaign.job_ms");
+  ASSERT_NE(ms_id, telemetry::MetricsRegistry::kInvalidId);
+  EXPECT_EQ(reg.histogram_count(ms_id), kJobs);
+}
+
+TEST(CampaignExecutor, ThreadBackendPublishesInIndexOrder) {
+  RegisterTestKinds();
+  telemetry::TelemetryBus bus;
+  std::vector<std::size_t> seen;
+  bus.campaign_job().Subscribe(
+      [&](const telemetry::CampaignJobEvent& e) {
+        seen.push_back(e.job_index);
+      });
+  ExecutorConfig cfg;
+  cfg.backend = Backend::kThread;
+  cfg.workers = 4;
+  cfg.bus = &bus;
+  CampaignExecutor exec(cfg);
+  exec.Run("t_echo", EchoJobs(7));
+  // The bus is not thread-safe, so the thread backend publishes after the
+  // barrier — deterministically, in job-index order.
+  ASSERT_EQ(seen.size(), 7u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+}  // namespace
+}  // namespace grunt::dist

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/env.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
@@ -79,7 +81,30 @@ TEST(ParallelRunner, DefaultThreadsHonorsEnvOverride) {
   ::setenv("GRUNT_BENCH_THREADS", "3", /*overwrite=*/1);
   EXPECT_EQ(ParallelRunner::DefaultThreads(), 3u);
   EXPECT_EQ(ParallelRunner(0).threads(), 3u);
-  ::setenv("GRUNT_BENCH_THREADS", "garbage", 1);
+  ::unsetenv("GRUNT_BENCH_THREADS");
+  EXPECT_GE(ParallelRunner::DefaultThreads(), 1u);
+}
+
+TEST(ParallelRunner, DefaultThreadsRejectsInvalidEnv) {
+  // A set-but-broken override is a configuration error, not something to
+  // paper over with a fallback: it must throw, and the message must name
+  // the variable and the offending value.
+  for (const char* bad : {"garbage", "-4", "0", "3x", " 7", "0x10",
+                          "99999999999999999999", "4097"}) {
+    ::setenv("GRUNT_BENCH_THREADS", bad, 1);
+    try {
+      ParallelRunner::DefaultThreads();
+      FAIL() << "expected EnvError for \"" << bad << "\"";
+    } catch (const EnvError& e) {
+      EXPECT_NE(std::string(e.what()).find("GRUNT_BENCH_THREADS"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+          << e.what();
+    }
+  }
+  // Unset and empty both mean "no override".
+  ::setenv("GRUNT_BENCH_THREADS", "", 1);
   EXPECT_GE(ParallelRunner::DefaultThreads(), 1u);
   ::unsetenv("GRUNT_BENCH_THREADS");
   EXPECT_GE(ParallelRunner::DefaultThreads(), 1u);
